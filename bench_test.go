@@ -1,0 +1,530 @@
+// Package bench is the repository's benchmark harness: one benchmark per
+// table and figure of the paper (regenerating the corresponding experiment
+// and reporting its headline metric), the design-choice ablations called out
+// in DESIGN.md §5, and micro-benchmarks of the hot paths.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Experiment benchmarks execute at ScaleFast sizing so the full suite
+// completes in minutes; cmd/experiments -scale full runs the paper-sized
+// variants.
+package bench
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"figret/internal/baselines"
+	"figret/internal/experiments"
+	"figret/internal/figret"
+	"figret/internal/graph"
+	"figret/internal/lp"
+	"figret/internal/solver"
+	"figret/internal/te"
+	"figret/internal/traffic"
+)
+
+// Shared environments, built once.
+var (
+	envOnce sync.Once
+	podEnv  *experiments.Env
+	torEnv  *experiments.Env
+	geantPS *te.PathSet
+	geantD  []float64
+)
+
+func setup(b *testing.B) {
+	b.Helper()
+	envOnce.Do(func() {
+		var err error
+		podEnv, err = experiments.NewEnv(graph.TopoPoDDB, experiments.ScaleFast, experiments.EnvOptions{T: 140, Seed: 2})
+		if err != nil {
+			panic(err)
+		}
+		torEnv, err = experiments.NewEnv(graph.TopoToRDB, experiments.ScaleFast, experiments.EnvOptions{T: 140, Seed: 2})
+		if err != nil {
+			panic(err)
+		}
+		torEnv.Solve = torEnv.GradSolve(300)
+		geantPS, err = te.NewPathSet(graph.GEANT(), 3, nil)
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		geantD = make([]float64, geantPS.Pairs.Count())
+		for i := range geantD {
+			geantD[i] = rng.Float64() * 2
+		}
+	})
+}
+
+// --- Figure/table regenerators -----------------------------------------
+
+func BenchmarkFig1_HedgingTradeoff(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Hedging(podEnv, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PeakNoHedge/res.PeakHedge, "peak-ratio")
+	}
+}
+
+func BenchmarkFig2_VarianceHeterogeneity(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		res := experiments.VarianceHeterogeneity(torEnv)
+		b.ReportMetric(res.Heterogeneity, "p90/p50")
+	}
+}
+
+func BenchmarkFig4_CosineSimilarity(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		res := experiments.CosineSimilarity([]*experiments.Env{podEnv, torEnv}, 12)
+		if len(res.Entries) != 2 {
+			b.Fatal("missing entries")
+		}
+	}
+}
+
+func BenchmarkFig5_TEQuality(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TEQuality(podEnv, experiments.QualityOptions{
+			H: 6, Epochs: 6, MaxEval: 15, WithOblivious: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Scheme("FIGRET").AvgMLU, "figret-avg-nmlu")
+		b.ReportMetric(res.Scheme("DOTE").AvgMLU, "dote-avg-nmlu")
+	}
+}
+
+func BenchmarkFig5_TEQualityBursty(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TEQuality(torEnv, experiments.QualityOptions{
+			H: 6, Epochs: 8, Gamma: 2, MaxEval: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Scheme("FIGRET").SevereCongestion, "figret-severe")
+		b.ReportMetric(res.Scheme("DOTE").SevereCongestion, "dote-severe")
+	}
+}
+
+func BenchmarkFig6_RaeckePaths(b *testing.B) {
+	env, err := experiments.NewEnv(graph.TopoPoDDB, experiments.ScaleFast, experiments.EnvOptions{
+		T: 120, Seed: 2, Selector: baselines.RaeckeSelector(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TEQuality(env, experiments.QualityOptions{H: 6, Epochs: 4, MaxEval: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Scheme("FIGRET").AvgMLU, "figret-avg-nmlu")
+	}
+}
+
+func BenchmarkFig7_Failures(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Failures(podEnv, experiments.FailureOptions{
+			H: 6, Epochs: 4, MaxFail: 2, Trials: 2, SnapsPer: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row := res.Row(1); row != nil {
+			if s := row.Scheme("FIGRET"); s != nil {
+				b.ReportMetric(s.AvgMLU, "figret-avg-nmlu-1fail")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8_SensitivityScatter(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SensitivityAnalysis(podEnv, 6, 8, 6, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FigretCorr, "figret-var-sens-corr")
+	}
+}
+
+func BenchmarkFig19_PredictionMismatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.PredictionMismatch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MLUA-res.MLUB, "mlu-gap-equal-mse")
+	}
+}
+
+func BenchmarkTable2_FigretCalc(b *testing.B) {
+	setup(b)
+	m := figret.New(geantPS, figret.Config{H: 6, Epochs: 1, Seed: 1})
+	tr, err := traffic.WAN(23, 40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Train(tr); err != nil {
+		b.Fatal(err)
+	}
+	w := tr.Window(tr.Len(), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_LPCalc(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := lp.MLUMin(geantPS, geantD); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_DesTECalc(b *testing.B) {
+	setup(b)
+	caps := lp.SensitivityCaps(geantPS, lp.ConstantF(2.0/3.0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := lp.MLUMinCapped(geantPS, geantD, caps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_GradSolverCalc(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		solver.MinimizeMLU(geantPS, geantD, solver.Options{Iters: 300})
+	}
+}
+
+func BenchmarkTable2_ObliviousPrecomp(b *testing.B) {
+	setup(b)
+	dmax := baselines.PeakDemand(podEnv.Train)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := baselines.ObliviousConfig(podEnv.PS, dmax, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_Perturbation(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Perturbation(podEnv, 6, 1, 4, []float64{0.5, 2}, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgDecline[1], "avg-decline-pct-a2")
+	}
+}
+
+func BenchmarkTable4_Drift(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Drift(podEnv, 6, 1, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgDecline[0], "seg1-decline-pct")
+	}
+}
+
+func BenchmarkTable5_WorstCase(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Perturbation(podEnv, 6, 1, 4, []float64{2}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgDecline[0], "avg-decline-pct-a2")
+		b.ReportMetric(res.Spearman, "spearman")
+	}
+}
+
+func BenchmarkAppC_HeuristicF(b *testing.B) {
+	setup(b)
+	for _, kind := range []string{"linear", "piecewise"} {
+		b.Run(kind, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.HeuristicF(podEnv, kind, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §5) -------------------------------------------
+
+func trainedEval(b *testing.B, env *experiments.Env, cfg figret.Config) float64 {
+	b.Helper()
+	m := figret.New(env.PS, cfg)
+	if _, err := m.Train(env.Train); err != nil {
+		b.Fatal(err)
+	}
+	var sum float64
+	var n int
+	for t := cfg.H; t < env.Test.Len(); t++ {
+		c, err := m.PredictAt(env.Test, t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum += c.MLU(env.Test.At(t))
+		n++
+	}
+	return sum / float64(n)
+}
+
+func BenchmarkAblationGamma(b *testing.B) {
+	setup(b)
+	for _, gamma := range []float64{0, 0.5, 2, 8} {
+		b.Run(fmtFloat(gamma), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				avg := trainedEval(b, torEnv, figret.Config{H: 6, Gamma: gamma, Epochs: 6, Seed: 2})
+				b.ReportMetric(avg, "avg-mlu")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationLossTerm(b *testing.B) {
+	// The central design choice: variance-weighted (fine-grained) L2 vs a
+	// uniform (coarse-grained, Des-TE-like) L2 vs none (DOTE).
+	setup(b)
+	variants := []struct {
+		name string
+		cfg  figret.Config
+	}{
+		{"fine-grained", figret.Config{H: 6, Gamma: 2, Epochs: 6, Seed: 2}},
+		{"coarse-grained", figret.Config{H: 6, Gamma: 2, Epochs: 6, Seed: 2, CoarseGrained: true}},
+		{"none-dote", figret.Config{H: 6, Gamma: 0, Epochs: 6, Seed: 2}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				avg := trainedEval(b, torEnv, v.cfg)
+				b.ReportMetric(avg, "avg-mlu")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationWindow(b *testing.B) {
+	setup(b)
+	for _, h := range []int{1, 6, 12} {
+		b.Run(fmtInt(h), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				avg := trainedEval(b, podEnv, figret.Config{H: h, Gamma: 1, Epochs: 6, Seed: 2})
+				b.ReportMetric(avg, "avg-mlu")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationPaths(b *testing.B) {
+	for _, k := range []int{1, 3, 5} {
+		b.Run(fmtInt(k), func(b *testing.B) {
+			env, err := experiments.NewEnv(graph.TopoPoDDB, experiments.ScaleFast,
+				experiments.EnvOptions{T: 120, Seed: 2, K: k})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				avg := trainedEval(b, env, figret.Config{H: 6, Gamma: 1, Epochs: 5, Seed: 2})
+				b.ReportMetric(avg, "avg-mlu")
+			}
+		})
+	}
+}
+
+func BenchmarkSolverVsLP(b *testing.B) {
+	setup(b)
+	b.Run("lp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, obj, err := lp.MLUMin(geantPS, geantD)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(obj, "mlu")
+		}
+	})
+	b.Run("grad", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, obj := solver.MinimizeMLU(geantPS, geantD, solver.Options{Iters: 600})
+			b.ReportMetric(obj, "mlu")
+		}
+	})
+}
+
+func BenchmarkAblationWCMP(b *testing.B) {
+	// MLU cost of hardware WCMP quantization at different table sizes,
+	// relative to ideal real-valued splits.
+	setup(b)
+	cfg, _ := solver.MinimizeMLU(geantPS, geantD, solver.Options{Iters: 300})
+	ideal, _ := geantPS.MLU(geantD, cfg.R)
+	for _, size := range []int{4, 16, 64} {
+		b.Run(fmtInt(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q, err := te.QuantizeWCMP(cfg, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, _ := geantPS.MLU(geantD, q.R)
+				b.ReportMetric(m/ideal, "mlu-vs-ideal")
+			}
+		})
+	}
+}
+
+func BenchmarkMLUProxySimulation(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MLUProxy(podEnv, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LossCorr, "mlu-loss-corr")
+	}
+}
+
+func BenchmarkDriftVisualization(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.VisualizeDrift(podEnv, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Drift[3], "q4-drift")
+	}
+}
+
+func BenchmarkFig20_DOTEFailureCase(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DOTEFailureCase(torEnv, 6, 2, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DOTEMLU/res.FigretMLU, "dote-vs-figret-mlu")
+	}
+}
+
+// --- Micro-benchmarks -----------------------------------------------------
+
+func BenchmarkMicroMLUEval(b *testing.B) {
+	setup(b)
+	cfg := te.UniformConfig(geantPS)
+	buf := make([]float64, geantPS.G.NumEdges())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		geantPS.EdgeFlows(geantD, cfg.R, buf)
+	}
+}
+
+func BenchmarkMicroYenGEANT(b *testing.B) {
+	g := graph.GEANT()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ps := g.KShortestPaths(0, 12, 3, graph.HopWeight); len(ps) != 3 {
+			b.Fatal("missing paths")
+		}
+	}
+}
+
+func BenchmarkMicroPathSetGEANT(b *testing.B) {
+	g := graph.GEANT()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := te.NewPathSet(g, 3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroReroute(b *testing.B) {
+	setup(b)
+	cfg := te.UniformConfig(geantPS)
+	e := geantPS.G.Edge(0)
+	fs := te.NewFailureSet(geantPS.G, [][2]int{{e.From, e.To}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		te.Reroute(cfg, fs)
+	}
+}
+
+func BenchmarkMicroTrainingStep(b *testing.B) {
+	setup(b)
+	tr, err := traffic.DC(traffic.PoDDB, 4, 30, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := te.NewPathSet(graph.PoDDB(), 3, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := figret.New(ps, figret.Config{H: 4, Gamma: 1, Epochs: 1, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Train(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func fmtInt(v int) string {
+	return fmtFloat(float64(v))
+}
+
+func fmtFloat(v float64) string {
+	switch {
+	case v == float64(int(v)):
+		return itoa(int(v))
+	default:
+		// one decimal
+		return itoa(int(v)) + "." + itoa(int(v*10)%10)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

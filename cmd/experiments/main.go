@@ -1,0 +1,324 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic substrates of this repository and prints paper-shaped text
+// output. See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+// recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	experiments -exp fig5 -topo pod-db
+//	experiments -exp all -scale fast
+//	experiments -exp table2 -topo geant -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"figret/internal/baselines"
+	"figret/internal/experiments"
+	"figret/internal/graph"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: fig1 fig2 fig4 fig5 fig6 fig7 fig8 fig18 fig19 table2 table3 table4 table5 appc all")
+		topo   = flag.String("topo", "", "topology (default: per-experiment paper choice)")
+		scale  = flag.String("scale", "fast", "fast|full")
+		T      = flag.Int("T", 0, "trace length (0 = scale default)")
+		H      = flag.Int("H", 0, "history window (0 = default 12)")
+		gamma  = flag.Float64("gamma", 0, "FIGRET robustness weight (0 = default)")
+		epochs = flag.Int("epochs", 0, "training epochs (0 = scale default)")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	sc := experiments.ScaleFast
+	if *scale == "full" {
+		sc = experiments.ScaleFull
+	}
+	r := runner{scale: sc, T: *T, H: *H, gamma: *gamma, epochs: *epochs, seed: *seed, topo: *topo}
+	if err := r.run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+type runner struct {
+	scale  experiments.Scale
+	T      int
+	H      int
+	gamma  float64
+	epochs int
+	seed   int64
+	topo   string
+}
+
+func (r runner) env(defaultTopo string) (*experiments.Env, error) {
+	topo := r.topo
+	if topo == "" {
+		topo = defaultTopo
+	}
+	return experiments.NewEnv(topo, r.scale, experiments.EnvOptions{T: r.T, Seed: r.seed})
+}
+
+func (r runner) run(exp string) error {
+	switch exp {
+	case "all":
+		for _, e := range []string{"fig1", "fig2", "fig4", "fig5", "fig6", "fig7",
+			"fig8", "fig16", "fig19", "fig20", "mluproxy", "table2", "table3",
+			"table4", "table5", "appc"} {
+			fmt.Printf("==== %s ====\n", e)
+			if err := r.run(e); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+			fmt.Println()
+		}
+		return nil
+
+	case "fig1":
+		for _, topo := range r.topos(graph.TopoGEANT, graph.TopoPoDDB, graph.TopoToRDB) {
+			env, err := r.env(topo)
+			if err != nil {
+				return err
+			}
+			if env.PS.Pairs.Count() > 200 {
+				env.Solve = env.GradSolve(0)
+			}
+			res, err := experiments.Hedging(env, 40)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+		}
+		return nil
+
+	case "fig2":
+		for _, topo := range r.topos(graph.TopoGEANT, graph.TopoPoDDB, graph.TopoToRDB) {
+			env, err := r.env(topo)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.VarianceHeterogeneity(env))
+		}
+		return nil
+
+	case "fig4", "fig18":
+		h := 12
+		if exp == "fig18" {
+			h = 64
+		}
+		if r.H != 0 {
+			h = r.H
+		}
+		var envs []*experiments.Env
+		for _, topo := range graph.AllTopologies() {
+			env, err := r.env(topo)
+			if err != nil {
+				return err
+			}
+			envs = append(envs, env)
+		}
+		fmt.Print(experiments.CosineSimilarity(envs, h))
+		return nil
+
+	case "fig5":
+		for _, topo := range r.topos(graph.TopoGEANT, graph.TopoPFabric, graph.TopoPoDDB,
+			graph.TopoPoDWEB, graph.TopoToRDB, graph.TopoToRWEB, graph.TopoCogentco, graph.TopoUsCarrier) {
+			env, err := r.env(topo)
+			if err != nil {
+				return err
+			}
+			opt := experiments.QualityOptions{H: r.H, Gamma: r.gamma, Epochs: r.epochs, MaxEval: 30}
+			small := env.PS.Pairs.Count()+env.G.NumEdges() <= 200
+			opt.WithOblivious = small
+			if !small {
+				env.Solve = env.GradSolve(0)
+			}
+			if env.Topo == graph.TopoToRDB || env.Topo == graph.TopoToRWEB {
+				if opt.Gamma == 0 {
+					opt.Gamma = 2
+				}
+			}
+			res, err := experiments.TEQuality(env, opt)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			fmt.Println()
+		}
+		return nil
+
+	case "fig6":
+		for _, topo := range r.topos(graph.TopoGEANT, graph.TopoPFabric) {
+			env, err := experiments.NewEnv(topo, r.scale, experiments.EnvOptions{
+				T: r.T, Seed: r.seed, Selector: baselines.RaeckeSelector(0)})
+			if err != nil {
+				return err
+			}
+			if env.PS.Pairs.Count()+env.G.NumEdges() > 200 {
+				env.Solve = env.GradSolve(0)
+			}
+			res, err := experiments.TEQuality(env, experiments.QualityOptions{
+				H: r.H, Gamma: r.gamma, Epochs: r.epochs, MaxEval: 30,
+				WithOblivious: env.PS.Pairs.Count()+env.G.NumEdges() <= 200})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("(Räcke-style paths) %s", res)
+			fmt.Println()
+		}
+		return nil
+
+	case "fig7":
+		for _, topo := range r.topos(graph.TopoGEANT, graph.TopoPFabric, graph.TopoToRDB) {
+			env, err := r.env(topo)
+			if err != nil {
+				return err
+			}
+			res, err := experiments.Failures(env, experiments.FailureOptions{
+				H: r.H, Gamma: r.gamma, Epochs: r.epochs})
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+		}
+		return nil
+
+	case "fig8":
+		for _, topo := range r.topos(graph.TopoPoDDB, graph.TopoToRDB) {
+			env, err := r.env(topo)
+			if err != nil {
+				return err
+			}
+			if env.PS.Pairs.Count() > 200 {
+				env.Solve = env.GradSolve(0)
+			}
+			g := r.gamma
+			if g == 0 {
+				g = 8
+			}
+			res, err := experiments.SensitivityAnalysis(env, r.H, g, r.epochs, 20)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+		}
+		return nil
+
+	case "fig16", "fig17":
+		for _, topo := range r.topos(graph.TopoPoDDB, graph.TopoToRDB) {
+			env, err := r.env(topo)
+			if err != nil {
+				return err
+			}
+			res, err := experiments.VisualizeDrift(env, 100)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+		}
+		return nil
+
+	case "fig19":
+		res, err := experiments.PredictionMismatch()
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+
+	case "fig20":
+		env, err := r.env(graph.TopoToRDB)
+		if err != nil {
+			return err
+		}
+		res, err := experiments.DOTEFailureCase(env, r.H, r.gamma, r.epochs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+
+	case "mluproxy":
+		env, err := r.env(graph.TopoPoDDB)
+		if err != nil {
+			return err
+		}
+		res, err := experiments.MLUProxy(env, 30)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+
+	case "table2":
+		for _, topo := range r.topos(graph.TopoGEANT, graph.TopoToRDB, graph.TopoToRWEB) {
+			env, err := r.env(topo)
+			if err != nil {
+				return err
+			}
+			res, err := experiments.Timing(env, experiments.TimingOptions{H: r.H, Epochs: r.epochs})
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+		}
+		return nil
+
+	case "table3", "table5":
+		worst := exp == "table5"
+		for _, topo := range r.topos(graph.TopoPoDDB, graph.TopoPFabric, graph.TopoToRDB) {
+			env, err := r.env(topo)
+			if err != nil {
+				return err
+			}
+			res, err := experiments.Perturbation(env, r.H, r.gamma, r.epochs, nil, worst)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+		}
+		return nil
+
+	case "table4":
+		for _, topo := range r.topos(graph.TopoPoDDB, graph.TopoPFabric, graph.TopoToRDB) {
+			env, err := r.env(topo)
+			if err != nil {
+				return err
+			}
+			res, err := experiments.Drift(env, r.H, r.gamma, r.epochs)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+		}
+		return nil
+
+	case "appc":
+		env, err := r.env(graph.TopoPoDDB)
+		if err != nil {
+			return err
+		}
+		for _, kind := range []string{"linear", "piecewise"} {
+			res, err := experiments.HeuristicF(env, kind, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			fmt.Println()
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+// topos returns the default topology list, or the single -topo override.
+func (r runner) topos(defaults ...string) []string {
+	if r.topo != "" {
+		return []string{r.topo}
+	}
+	return defaults
+}

@@ -1,0 +1,232 @@
+// Command figret is the library's CLI: generate synthetic traces, train a
+// FIGRET (or DOTE) model, evaluate it against baselines, and inspect
+// topologies.
+//
+// Usage:
+//
+//	figret topo     -topo geant
+//	figret gen      -topo tor-db -T 300 -out trace.json
+//	figret train    -topo pod-db -T 200 -gamma 1 -epochs 10 -out model.json
+//	figret eval     -topo pod-db -T 200 -model model.json
+//	figret simulate -topo pod-db -delay 2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"figret/internal/baselines"
+	"figret/internal/experiments"
+	"figret/internal/figret"
+	"figret/internal/netsim"
+	"figret/internal/te"
+	"figret/internal/traffic"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		topo   = fs.String("topo", "pod-db", "topology name (geant uscarrier cogentco pfabric pod-db pod-web tor-db tor-web)")
+		scale  = fs.String("scale", "fast", "fast|full topology sizing")
+		T      = fs.Int("T", 200, "trace length")
+		H      = fs.Int("H", 12, "history window")
+		gamma  = fs.Float64("gamma", 1, "robustness loss weight (0 = DOTE)")
+		epochs = fs.Int("epochs", 10, "training epochs")
+		seed   = fs.Int64("seed", 1, "random seed")
+		out    = fs.String("out", "", "output file (gen/train)")
+		model  = fs.String("model", "", "model file (eval)")
+		delay  = fs.Int("delay", 1, "controller installation delay in intervals (simulate)")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	sc := experiments.ScaleFast
+	if *scale == "full" {
+		sc = experiments.ScaleFull
+	}
+
+	var err error
+	switch cmd {
+	case "topo":
+		err = runTopo(*topo, sc)
+	case "gen":
+		err = runGen(*topo, sc, *T, *seed, *out)
+	case "train":
+		err = runTrain(*topo, sc, *T, *H, *gamma, *epochs, *seed, *out)
+	case "eval":
+		err = runEval(*topo, sc, *T, *H, *seed, *model)
+	case "simulate":
+		err = runSimulate(*topo, sc, *T, *H, *gamma, *epochs, *seed, *delay)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figret:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: figret <topo|gen|train|eval|simulate> [flags]
+  topo      print topology statistics
+  gen       generate a synthetic trace (JSON)
+  train     train a FIGRET model and save it (JSON)
+  eval      evaluate a trained model against DOTE/omniscient
+  simulate  run the fluid control-loop simulation with controller delay`)
+}
+
+func buildEnv(topo string, sc experiments.Scale, T int, seed int64) (*experiments.Env, error) {
+	return experiments.NewEnv(topo, sc, experiments.EnvOptions{T: T, Seed: seed})
+}
+
+func runTopo(topo string, sc experiments.Scale) error {
+	env, err := buildEnv(topo, sc, 10, 1)
+	if err != nil {
+		return err
+	}
+	g := env.G
+	fmt.Printf("topology %s: %d nodes, %d directed edges, min capacity %g\n",
+		topo, g.NumVertices(), g.NumEdges(), g.MinCapacity())
+	fmt.Printf("SD pairs: %d, candidate paths: %d (K=%d)\n",
+		env.PS.Pairs.Count(), env.PS.NumPaths(), env.Paths)
+	degs := g.Degrees()
+	min, max := degs[0], degs[0]
+	for _, d := range degs {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	fmt.Printf("out-degree: min %d, max %d\n", min, max)
+	return nil
+}
+
+// traceJSON is the on-disk trace format.
+type traceJSON struct {
+	N         int         `json:"n"`
+	Snapshots [][]float64 `json:"snapshots"`
+}
+
+func runGen(topo string, sc experiments.Scale, T int, seed int64, out string) error {
+	if out == "" {
+		return fmt.Errorf("gen requires -out")
+	}
+	env, err := buildEnv(topo, sc, T, seed)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(traceJSON{N: env.G.NumVertices(), Snapshots: env.Trace.Snapshots})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d snapshots (%d pairs) to %s\n", env.Trace.Len(), env.Trace.Pairs.Count(), out)
+	return nil
+}
+
+func runTrain(topo string, sc experiments.Scale, T, H int, gamma float64, epochs int, seed int64, out string) error {
+	if out == "" {
+		return fmt.Errorf("train requires -out")
+	}
+	env, err := buildEnv(topo, sc, T, seed)
+	if err != nil {
+		return err
+	}
+	m := figret.New(env.PS, figret.Config{H: H, Gamma: gamma, Epochs: epochs, Seed: seed})
+	stats, err := m.Train(env.Train)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained %d epochs; train MLU %0.4f -> %0.4f\n",
+		len(stats.EpochMLU), stats.EpochMLU[0], stats.EpochMLU[len(stats.EpochMLU)-1])
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("saved model (%d parameters) to %s\n", m.Net.NumParams(), out)
+	return nil
+}
+
+func runEval(topo string, sc experiments.Scale, T, H int, seed int64, modelPath string) error {
+	if modelPath == "" {
+		return fmt.Errorf("eval requires -model")
+	}
+	env, err := buildEnv(topo, sc, T, seed)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(modelPath)
+	if err != nil {
+		return err
+	}
+	m, err := figret.LoadModel(env.PS, data)
+	if err != nil {
+		return err
+	}
+	h := m.Cfg.H
+	scheme := &baselines.NNScheme{Label: "model", Model: m}
+	omni := &baselines.Omniscient{PS: env.PS, Solve: env.Solve}
+	from, to := h, env.Test.Len()
+	if to-from > 40 {
+		to = from + 40
+	}
+	series, err := baselines.Evaluate(scheme, env.Test, from, to)
+	if err != nil {
+		return err
+	}
+	base, err := baselines.Evaluate(omni, env.Test, from, to)
+	if err != nil {
+		return err
+	}
+	norm := baselines.Normalize(series, base)
+	st := traffic.Summarize(norm)
+	fmt.Printf("normalized MLU over %d test snapshots: avg %.3f median %.3f p75 %.3f max %.3f\n",
+		len(norm), st.Mean, st.Median, st.P75, st.Max)
+	return nil
+}
+
+func runSimulate(topo string, sc experiments.Scale, T, H int, gamma float64, epochs int, seed int64, delay int) error {
+	env, err := buildEnv(topo, sc, T, seed)
+	if err != nil {
+		return err
+	}
+	// Stress the network so losses are visible: scale the trace to push the
+	// mean uniform-config MLU toward 1.
+	env.Trace.Scale(2)
+	m := figret.New(env.PS, figret.Config{H: H, Gamma: gamma, Epochs: epochs, Seed: seed})
+	if _, err := m.Train(env.Train); err != nil {
+		return err
+	}
+	loop := &netsim.ControlLoop{
+		Advise:  func(t int) (*te.Config, error) { return m.PredictAt(env.Test, t) },
+		Initial: te.UniformConfig(env.PS),
+		Delay:   delay,
+	}
+	from, to := H, env.Test.Len()
+	if to-from > 40 {
+		to = from + 40
+	}
+	res, err := loop.Run(env.Test.At, from, to)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("control-loop simulation on %s (delay %d intervals, %d intervals simulated)\n",
+		topo, delay, len(res.PerInterval))
+	fmt.Printf("mean MLU %.3f, peak MLU %.3f, mean loss %.4f\n", res.MeanMLU, res.PeakMLU, res.MeanLoss)
+	return nil
+}

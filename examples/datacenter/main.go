@@ -1,0 +1,129 @@
+// Data-center scenario: FIGRET versus DOTE on a bursty ToR-level
+// direct-connect fabric — the paper's headline result (§5.2): lower average
+// MLU and fewer severe congestion events on highly dynamic traffic.
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"figret/internal/figret"
+	"figret/internal/graph"
+	"figret/internal/te"
+	"figret/internal/traffic"
+)
+
+func main() {
+	// A Jellyfish-style random-regular ToR fabric (reduced size for the
+	// demo; graph.ToRDB() is the paper-scale 155-node fabric).
+	g, err := graph.RandomRegularish(20, 60, 10, 155)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps, err := te.NewPathSet(g, 3, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ToR fabric: %d nodes, %d links, %d SD pairs\n",
+		g.NumVertices(), g.NumEdges()/2, ps.Pairs.Count())
+
+	trace, err := traffic.DC(traffic.ToRDB, g.NumVertices(), 160, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := trace.Split(0.75)
+
+	// Same architecture, same data — the only difference is gamma.
+	fig := figret.New(ps, figret.Config{H: 6, Gamma: 8, Epochs: 8, Seed: 3})
+	dote := figret.NewDOTE(ps, figret.Config{H: 6, Epochs: 8, Seed: 3})
+	if _, err := fig.Train(train); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dote.Train(train); err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		name   string
+		model  *figret.Model
+		sum    float64
+		peak   float64
+		severe int
+	}
+	rows := []*row{{name: "FIGRET", model: fig}, {name: "DOTE", model: dote}}
+	n := 0
+	for t := 6; t < test.Len(); t++ {
+		d := test.At(t)
+		for _, r := range rows {
+			cfg, err := r.model.PredictAt(test, t)
+			if err != nil {
+				log.Fatal(err)
+			}
+			m := cfg.MLU(d)
+			r.sum += m
+			if m > r.peak {
+				r.peak = m
+			}
+		}
+		n++
+	}
+	// Severe-congestion counting needs a common reference: use DOTE's mean.
+	ref := rows[1].sum / float64(n)
+	for t := 6; t < test.Len(); t++ {
+		d := test.At(t)
+		for _, r := range rows {
+			cfg, _ := r.model.PredictAt(test, t)
+			if cfg.MLU(d) > 2*ref {
+				r.severe++
+			}
+		}
+	}
+	fmt.Printf("%-8s %10s %10s %14s\n", "scheme", "avg MLU", "peak MLU", "severe events")
+	for _, r := range rows {
+		fmt.Printf("%-8s %10.3f %10.3f %14d\n", r.name, r.sum/float64(n), r.peak, r.severe)
+	}
+	fmt.Println("\nFIGRET's burst-aware loss hedges only the bursty SD pairs, cutting")
+	fmt.Println("burst-driven congestion without giving up average performance.")
+
+	// Show the fine-grained behavior directly (Figure 8 methodology):
+	// average each pair's max path sensitivity over the test snapshots and
+	// compare the top-variance decile against the bottom half.
+	vars := train.NormalizedVariances()
+	k := ps.Pairs.Count()
+	figSens := make([]float64, k)
+	doteSens := make([]float64, k)
+	for t := 6; t < test.Len(); t++ {
+		fc, _ := fig.PredictAt(test, t)
+		dc, _ := dote.PredictAt(test, t)
+		fs := ps.MaxPairSensitivities(fc.R, true)
+		ds := ps.MaxPairSensitivities(dc.R, true)
+		for i := 0; i < k; i++ {
+			figSens[i] += fs[i] / float64(n)
+			doteSens[i] += ds[i] / float64(n)
+		}
+	}
+	hi := traffic.Quantile(vars, 0.9)
+	lo := traffic.Quantile(vars, 0.5)
+	var figBursty, doteBursty, figStable, doteStable, nb, ns float64
+	for i, v := range vars {
+		switch {
+		case v >= hi:
+			figBursty += figSens[i]
+			doteBursty += doteSens[i]
+			nb++
+		case v <= lo:
+			figStable += figSens[i]
+			doteStable += doteSens[i]
+			ns++
+		}
+	}
+	if nb > 0 && ns > 0 {
+		fmt.Printf("\navg max path sensitivity (top-variance pairs):  FIGRET %.3f vs DOTE %.3f\n",
+			figBursty/nb, doteBursty/nb)
+		fmt.Printf("avg max path sensitivity (stable pairs):        FIGRET %.3f vs DOTE %.3f\n",
+			figStable/ns, doteStable/ns)
+		fmt.Println("FIGRET pushes its bursty pairs toward lower sensitivity than DOTE does.")
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a topology, generate traffic, train FIGRET, and compare
+// it against the omniscient oracle on held-out snapshots.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"figret/internal/baselines"
+	"figret/internal/figret"
+	"figret/internal/graph"
+	"figret/internal/te"
+	"figret/internal/traffic"
+)
+
+func main() {
+	// 1. Topology: an 8-PoD full-mesh data center fabric.
+	g := graph.PoDWEB()
+	fmt.Printf("topology: %v\n", g)
+
+	// 2. Candidate paths: Yen's 3 shortest paths per SD pair (the paper's
+	// default).
+	ps, err := te.NewPathSet(g, 3, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SD pairs: %d, candidate paths: %d\n", ps.Pairs.Count(), ps.NumPaths())
+
+	// 3. Traffic: a Meta-like PoD trace, split chronologically 75/25.
+	trace, err := traffic.DC(traffic.PoDWEB, g.NumVertices(), 200, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := trace.Split(0.75)
+
+	// 4. Train FIGRET: history window H=6, robustness weight gamma=1.
+	model := figret.New(ps, figret.Config{H: 6, Gamma: 1, Epochs: 10, Seed: 42})
+	stats, err := model.Train(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training MLU: %.4f (epoch 1) -> %.4f (epoch %d)\n",
+		stats.EpochMLU[0], stats.EpochMLU[len(stats.EpochMLU)-1], len(stats.EpochMLU))
+
+	// 5. Evaluate on unseen snapshots against the omniscient LP oracle.
+	scheme := &baselines.NNScheme{Label: "FIGRET", Model: model}
+	omni := &baselines.Omniscient{PS: ps, Solve: baselines.AutoSolve(ps)}
+	series, err := baselines.Evaluate(scheme, test, 6, test.Len())
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := baselines.Evaluate(omni, test, 6, test.Len())
+	if err != nil {
+		log.Fatal(err)
+	}
+	norm := baselines.Normalize(series, base)
+	st := traffic.Summarize(norm)
+	fmt.Printf("normalized MLU on %d test snapshots: median %.3f, p75 %.3f, max %.3f\n",
+		len(norm), st.Median, st.P75, st.Max)
+	fmt.Println("(1.0 = the oracle that knows future demands)")
+}

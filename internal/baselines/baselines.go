@@ -1,0 +1,269 @@
+// Package baselines implements the TE schemes FIGRET is evaluated against
+// (§5.1): Omniscient TE, demand-prediction-based TE, desensitization-based
+// TE (Google Jupiter hedging), demand-oblivious TE, COPE, SMORE-style path
+// selection, and a TEAL-like per-demand learned scheme. All schemes share
+// the Scheme interface so the experiment harness can evaluate them
+// uniformly.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"figret/internal/figret"
+	"figret/internal/lp"
+	"figret/internal/solver"
+	"figret/internal/te"
+	"figret/internal/traffic"
+)
+
+// SolveFunc computes a (near-)MLU-optimal configuration for a single demand
+// with optional per-path ratio caps. The two implementations are LPSolve
+// (exact simplex; small/medium instances) and GradSolve (projected gradient;
+// any scale).
+type SolveFunc func(ps *te.PathSet, d []float64, caps []float64) (*te.Config, float64, error)
+
+// LPSolve is the exact LP implementation of SolveFunc.
+func LPSolve(ps *te.PathSet, d []float64, caps []float64) (*te.Config, float64, error) {
+	return lp.MLUMinCapped(ps, d, caps)
+}
+
+// GradSolve returns a SolveFunc backed by the projected-gradient solver.
+func GradSolve(opt solver.Options) SolveFunc {
+	return func(ps *te.PathSet, d []float64, caps []float64) (*te.Config, float64, error) {
+		o := opt
+		o.Caps = caps
+		cfg, obj := solver.MinimizeMLU(ps, d, o)
+		return cfg, obj, nil
+	}
+}
+
+// AutoSolve picks LPSolve for instances small enough for dense simplex and
+// GradSolve otherwise, mirroring the scalability split the paper reports.
+func AutoSolve(ps *te.PathSet) SolveFunc {
+	// Rows ≈ pairs + edges; dense tableaux beyond a few thousand rows are
+	// not worth it.
+	if ps.Pairs.Count()+ps.G.NumEdges() <= 1200 {
+		return LPSolve
+	}
+	return GradSolve(solver.Options{})
+}
+
+// Scheme is a TE scheme under the paper's evaluation protocol: at snapshot
+// t it must produce a configuration using only information available before
+// D_t arrives (except Omniscient, the oracle).
+type Scheme interface {
+	Name() string
+	// Warmup is the first snapshot index the scheme can advise on.
+	Warmup() int
+	// Advise returns the configuration to apply to snapshot t of tr.
+	Advise(tr *traffic.Trace, t int) (*te.Config, error)
+}
+
+// Omniscient is the oracle baseline: it optimizes for the true D_t.
+// Its MLU is the normalizer for every Figure 5/6/7 result.
+type Omniscient struct {
+	PS    *te.PathSet
+	Solve SolveFunc
+}
+
+// Name implements Scheme.
+func (o *Omniscient) Name() string { return "Omniscient" }
+
+// Warmup implements Scheme.
+func (o *Omniscient) Warmup() int { return 0 }
+
+// Advise implements Scheme.
+func (o *Omniscient) Advise(tr *traffic.Trace, t int) (*te.Config, error) {
+	cfg, _, err := o.Solve(o.PS, tr.At(t), nil)
+	return cfg, err
+}
+
+// PredTE is demand-prediction-based TE: it optimizes for the previous
+// snapshot's demand ("we apply the TE solution computed from the traffic
+// demand of the preceding time snapshot to the next time snapshot").
+type PredTE struct {
+	PS    *te.PathSet
+	Solve SolveFunc
+}
+
+// Name implements Scheme.
+func (p *PredTE) Name() string { return "Pred TE" }
+
+// Warmup implements Scheme.
+func (p *PredTE) Warmup() int { return 1 }
+
+// Advise implements Scheme.
+func (p *PredTE) Advise(tr *traffic.Trace, t int) (*te.Config, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("baselines: PredTE needs t >= 1")
+	}
+	cfg, _, err := p.Solve(p.PS, tr.At(t-1), nil)
+	return cfg, err
+}
+
+// DesTE is desensitization-based TE — the scheme of Google's Jupiter data
+// centers [37] and COUDER [44]: optimize MLU for the window-peak predicted
+// matrix under a constant path-sensitivity cap.
+type DesTE struct {
+	PS *te.PathSet
+	// H is the peak-tracking window (default 12).
+	H int
+	// Bound is the constant sensitivity bound F (default 2/3, the
+	// "Original" setting of Appendix C's Tables 7/8).
+	Bound float64
+	Solve SolveFunc
+
+	caps []float64
+}
+
+// Name implements Scheme.
+func (d *DesTE) Name() string { return "Des TE" }
+
+// Warmup implements Scheme.
+func (d *DesTE) Warmup() int { return 1 }
+
+func (d *DesTE) params() (int, float64) {
+	h := d.H
+	if h == 0 {
+		h = 12
+	}
+	b := d.Bound
+	if b == 0 {
+		b = 2.0 / 3.0
+	}
+	return h, b
+}
+
+// Advise implements Scheme.
+func (d *DesTE) Advise(tr *traffic.Trace, t int) (*te.Config, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("baselines: DesTE needs t >= 1")
+	}
+	h, bound := d.params()
+	if d.caps == nil {
+		d.caps = lp.SensitivityCaps(d.PS, lp.ConstantF(bound))
+	}
+	peak := tr.PeakMatrix(t, h)
+	cfg, _, err := d.Solve(d.PS, peak, d.caps)
+	return cfg, err
+}
+
+// FineGrainedDesTE is the Appendix C variant: desensitization TE whose
+// sensitivity bound F varies per SD pair via a heuristic function of the
+// pair's historical variance (LinearF or PiecewiseF).
+type FineGrainedDesTE struct {
+	PS *te.PathSet
+	// H is the peak-tracking window (default 12).
+	H int
+	// F maps pair index to its sensitivity bound.
+	F func(pair int) float64
+	// Label distinguishes parameterizations in reports.
+	Label string
+	Solve SolveFunc
+
+	caps []float64
+}
+
+// Name implements Scheme.
+func (d *FineGrainedDesTE) Name() string {
+	if d.Label != "" {
+		return d.Label
+	}
+	return "FG Des TE"
+}
+
+// Warmup implements Scheme.
+func (d *FineGrainedDesTE) Warmup() int { return 1 }
+
+// Advise implements Scheme.
+func (d *FineGrainedDesTE) Advise(tr *traffic.Trace, t int) (*te.Config, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("baselines: FineGrainedDesTE needs t >= 1")
+	}
+	h := d.H
+	if h == 0 {
+		h = 12
+	}
+	if d.caps == nil {
+		d.caps = lp.SensitivityCaps(d.PS, d.F)
+	}
+	peak := tr.PeakMatrix(t, h)
+	cfg, _, err := d.Solve(d.PS, peak, d.caps)
+	return cfg, err
+}
+
+// NNScheme adapts a trained figret.Model (FIGRET, DOTE, or TEAL-like) to the
+// Scheme interface.
+type NNScheme struct {
+	Label string
+	Model *figret.Model
+}
+
+// Name implements Scheme.
+func (s *NNScheme) Name() string { return s.Label }
+
+// Warmup implements Scheme.
+func (s *NNScheme) Warmup() int { return s.Model.Cfg.H }
+
+// Advise implements Scheme.
+func (s *NNScheme) Advise(tr *traffic.Trace, t int) (*te.Config, error) {
+	return s.Model.PredictAt(tr, t)
+}
+
+// FixedScheme wraps a precomputed static configuration (Oblivious, COPE).
+type FixedScheme struct {
+	Label string
+	Cfg   *te.Config
+}
+
+// Name implements Scheme.
+func (f *FixedScheme) Name() string { return f.Label }
+
+// Warmup implements Scheme.
+func (f *FixedScheme) Warmup() int { return 0 }
+
+// Advise implements Scheme.
+func (f *FixedScheme) Advise(*traffic.Trace, int) (*te.Config, error) {
+	return f.Cfg, nil
+}
+
+// Evaluate runs a scheme over the test snapshots [from, to) of tr and
+// returns one MLU per snapshot. Callers normalize by the Omniscient series
+// to obtain the paper's normalized MLU.
+func Evaluate(s Scheme, tr *traffic.Trace, from, to int) ([]float64, error) {
+	if from < s.Warmup() {
+		from = s.Warmup()
+	}
+	if to > tr.Len() {
+		to = tr.Len()
+	}
+	if from >= to {
+		return nil, fmt.Errorf("baselines: empty evaluation range [%d,%d)", from, to)
+	}
+	out := make([]float64, 0, to-from)
+	for t := from; t < to; t++ {
+		cfg, err := s.Advise(tr, t)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: %s at t=%d: %w", s.Name(), t, err)
+		}
+		out = append(out, cfg.MLU(tr.At(t)))
+	}
+	return out, nil
+}
+
+// Normalize divides each entry of series by the matching entry of base,
+// guarding against division by zero.
+func Normalize(series, base []float64) []float64 {
+	out := make([]float64, len(series))
+	for i := range series {
+		if base[i] > 0 {
+			out[i] = series[i] / base[i]
+		} else if series[i] == 0 {
+			out[i] = 1
+		} else {
+			out[i] = math.Inf(1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"figret/internal/graph"
+	"figret/internal/te"
+)
+
+// TestWorstBoxDemandMatchesExhaustive verifies the closed-form box
+// adversary against exhaustive enumeration of all 2^k box corners on a tiny
+// instance (the maximum of a linear function over a box is at a corner).
+func TestWorstBoxDemandMatchesExhaustive(t *testing.T) {
+	g := graph.FullMesh(3, 5) // 6 pairs -> 64 corners
+	ps, err := te.NewPathSet(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		cfg := te.NewConfig(ps)
+		for i := range cfg.R {
+			cfg.R[i] = rng.Float64()
+		}
+		cfg.Normalize()
+		dmax := make([]float64, ps.Pairs.Count())
+		for i := range dmax {
+			dmax[i] = rng.Float64() * 4
+		}
+		_, got := worstBoxDemand(ps, cfg, dmax)
+
+		// Exhaustive corner sweep.
+		k := ps.Pairs.Count()
+		best := 0.0
+		d := make([]float64, k)
+		for mask := 0; mask < 1<<k; mask++ {
+			for i := 0; i < k; i++ {
+				if mask&(1<<i) != 0 {
+					d[i] = dmax[i]
+				} else {
+					d[i] = 0
+				}
+			}
+			if m := cfg.MLU(d); m > best {
+				best = m
+			}
+		}
+		if math.Abs(got-best) > 1e-9 {
+			t.Fatalf("trial %d: closed-form worst %v, exhaustive %v", trial, got, best)
+		}
+	}
+}
+
+// TestObliviousBeatsDirectOnEveryCorner: the oblivious configuration's MLU
+// on every box corner stays within its certified objective.
+func TestObliviousBeatsDirectOnEveryCorner(t *testing.T) {
+	g := graph.FullMesh(3, 5)
+	ps, err := te.NewPathSet(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmax := []float64{2, 3, 1, 2, 4, 1}
+	obl, obj, err := ObliviousConfig(ps, dmax, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := ps.Pairs.Count()
+	d := make([]float64, k)
+	for mask := 0; mask < 1<<k; mask++ {
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				d[i] = dmax[i]
+			} else {
+				d[i] = 0
+			}
+		}
+		if m := obl.MLU(d); m > obj*(1+1e-6) {
+			t.Fatalf("corner %b: MLU %v exceeds oblivious objective %v", mask, m, obj)
+		}
+	}
+}

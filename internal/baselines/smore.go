@@ -1,0 +1,79 @@
+package baselines
+
+import (
+	"math"
+
+	"figret/internal/graph"
+	"figret/internal/te"
+)
+
+// RaeckeSelector approximates SMORE's Räcke oblivious-routing path
+// selection: for each pair it extracts k paths by successive shortest-path
+// computations under multiplicatively inflated edge costs, so later paths
+// avoid edges already used (capacity-aware diversity). This reproduces the
+// property Figure 6 tests — a diverse, congestion-aware path set chosen
+// independently of any particular demand — without the full
+// decomposition-tree machinery (see DESIGN.md §2 for the substitution).
+func RaeckeSelector(inflation float64) te.PathSelector {
+	if inflation <= 1 {
+		inflation = 8
+	}
+	return func(g *graph.Graph, s, d, k int) []graph.Path {
+		penalty := make(map[int]float64, 16)
+		w := func(e graph.Edge) float64 {
+			id, _ := g.EdgeID(e.From, e.To)
+			base := 1 / e.Capacity
+			if f, ok := penalty[id]; ok {
+				return base * f
+			}
+			return base
+		}
+		var out []graph.Path
+		for i := 0; i < k; i++ {
+			p, _, ok := g.ShortestPath(s, d, w, nil, nil)
+			if !ok {
+				break
+			}
+			dup := false
+			for _, q := range out {
+				if q.Equal(p) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, p)
+			}
+			ids, _ := p.Edges(g)
+			for _, id := range ids {
+				if _, ok := penalty[id]; !ok {
+					penalty[id] = 1
+				}
+				penalty[id] *= inflation
+				if penalty[id] > 1e12 {
+					penalty[id] = 1e12
+				}
+			}
+			if dup {
+				// All remaining shortest paths collapse onto known ones;
+				// push harder before giving up.
+				if allSaturated(penalty, inflation) {
+					break
+				}
+			}
+		}
+		return out
+	}
+}
+
+func allSaturated(penalty map[int]float64, inflation float64) bool {
+	if len(penalty) == 0 {
+		return true
+	}
+	for _, f := range penalty {
+		if f < math.Pow(inflation, 6) {
+			return false
+		}
+	}
+	return true
+}

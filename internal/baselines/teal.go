@@ -1,0 +1,24 @@
+package baselines
+
+import (
+	"figret/internal/figret"
+	"figret/internal/te"
+)
+
+// NewTEAL builds the TEAL-like baseline: a neural network that maps a single
+// demand matrix to a configuration optimized for that same demand
+// (SelfTarget training). At evaluation time the configuration computed from
+// D_{t-1} is applied to D_t, exactly the protocol of §5.1: "we apply the TE
+// solution computed from the traffic demand of the preceding time snapshot
+// to the next time snapshot". TEAL's GNN+RL machinery is substituted by the
+// same FCN used elsewhere (DESIGN.md §2); what the evaluation isolates is
+// the per-demand (history-free) nature of the scheme, which is preserved.
+func NewTEAL(ps *te.PathSet, epochs int, seed int64) *figret.Model {
+	return figret.New(ps, figret.Config{
+		H:          1,
+		Gamma:      0,
+		Epochs:     epochs,
+		Seed:       seed,
+		SelfTarget: true,
+	})
+}

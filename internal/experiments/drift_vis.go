@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"figret/internal/tsne"
+)
+
+// DriftVisualization is the Appendix F study (Figures 16/17): a t-SNE
+// embedding of the demand snapshots, partitioned into the four time
+// quarters, summarized by per-quarter spread and inter-quarter centroid
+// drift.
+type DriftVisualization struct {
+	Topo string
+	// Spread[q] is the mean pairwise embedding distance within quarter q.
+	Spread [4]float64
+	// TotalSpread is the spread of the whole embedding (dispersion proxy:
+	// higher for ToR than PoD traffic).
+	TotalSpread float64
+	// Drift[q] is the centroid distance between quarter q and quarter 0,
+	// normalized by the total spread.
+	Drift [4]float64
+	// Quarters holds the embedded points per quarter (for plotting).
+	Quarters [4][][]float64
+}
+
+// VisualizeDrift embeds up to maxPoints snapshots of the environment's trace
+// with t-SNE and quantifies the temporal drift across quarters.
+func VisualizeDrift(env *Env, maxPoints int) (*DriftVisualization, error) {
+	if maxPoints == 0 {
+		maxPoints = 120
+	}
+	tr := env.Trace
+	stride := tr.Len() / maxPoints
+	if stride == 0 {
+		stride = 1
+	}
+	var xs [][]float64
+	var quarter []int
+	for t := 0; t < tr.Len(); t += stride {
+		xs = append(xs, tr.At(t))
+		q := 4 * t / tr.Len()
+		if q > 3 {
+			q = 3
+		}
+		quarter = append(quarter, q)
+	}
+	ys, err := tsne.Run(xs, tsne.Options{Iters: 300, Seed: env.Seed, Perplexity: 20})
+	if err != nil {
+		return nil, err
+	}
+	res := &DriftVisualization{Topo: env.Topo}
+	for i, y := range ys {
+		q := quarter[i]
+		res.Quarters[q] = append(res.Quarters[q], y)
+	}
+	res.TotalSpread = tsne.PairwiseSpread(ys)
+	for q := 0; q < 4; q++ {
+		res.Spread[q] = tsne.PairwiseSpread(res.Quarters[q])
+		if res.TotalSpread > 0 {
+			res.Drift[q] = tsne.CentroidDistance(res.Quarters[0], res.Quarters[q]) / res.TotalSpread
+		}
+	}
+	return res, nil
+}
+
+// SingleCluster reports the Appendix F conclusion "traffic patterns do not
+// undergo drastic changes over time": every quarter's centroid stays within
+// the embedding's own spread.
+func (r *DriftVisualization) SingleCluster() bool {
+	for _, d := range r.Drift {
+		if d > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders per-quarter statistics and a coarse scatter.
+func (r *DriftVisualization) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t-SNE drift visualization on %s (embedding spread %.2f)\n", r.Topo, r.TotalSpread)
+	fmt.Fprintf(&b, "%-10s %10s %16s\n", "quarter", "spread", "drift vs Q1")
+	for q := 0; q < 4; q++ {
+		fmt.Fprintf(&b, "%-10s %10.2f %16.2f\n",
+			fmt.Sprintf("%d-%d%%", q*25, (q+1)*25), r.Spread[q], r.Drift[q])
+	}
+	if r.SingleCluster() {
+		b.WriteString("single cluster: traffic patterns do not change drastically over time\n")
+	} else {
+		b.WriteString("WARNING: quarters form separate clusters — strong temporal drift\n")
+	}
+	b.WriteString(r.scatter())
+	return b.String()
+}
+
+// scatter renders the embedding as a small ASCII plot with quarter digits.
+func (r *DriftVisualization) scatter() string {
+	const W, H = 56, 18
+	grid := make([][]byte, H)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", W))
+	}
+	minX, maxX, minY, maxY := 1e300, -1e300, 1e300, -1e300
+	for q := 0; q < 4; q++ {
+		for _, p := range r.Quarters[q] {
+			if p[0] < minX {
+				minX = p[0]
+			}
+			if p[0] > maxX {
+				maxX = p[0]
+			}
+			if p[1] < minY {
+				minY = p[1]
+			}
+			if p[1] > maxY {
+				maxY = p[1]
+			}
+		}
+	}
+	if maxX <= minX || maxY <= minY {
+		return ""
+	}
+	for q := 0; q < 4; q++ {
+		for _, p := range r.Quarters[q] {
+			x := int((p[0] - minX) / (maxX - minX) * float64(W-1))
+			y := int((p[1] - minY) / (maxY - minY) * float64(H-1))
+			grid[y][x] = byte('1' + q)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("embedding (digits = time quarter):\n")
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

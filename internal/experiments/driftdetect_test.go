@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"figret/internal/figret"
+	"figret/internal/traffic"
+)
+
+// TestDriftDetectorEndToEnd exercises the §6 retraining trigger across the
+// whole stack: train FIGRET, calibrate the detector on healthy test
+// intervals, verify silence under normal operation, then inject adversarial
+// drift (variance-rank-reversed perturbation, the Table 5 stressor) and
+// verify the trigger fires.
+func TestDriftDetectorEndToEnd(t *testing.T) {
+	env := podEnv(t)
+	const h = 6
+	m := figret.New(env.PS, figret.Config{H: h, Gamma: 1, Epochs: 6, Seed: 2})
+	if _, err := m.Train(env.Train); err != nil {
+		t.Fatal(err)
+	}
+	det := figret.NewDriftDetector(env.PS)
+
+	achieve := func(tr *traffic.Trace, snap int) float64 {
+		cfg, err := m.PredictAt(tr, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg.MLU(tr.At(snap))
+	}
+
+	// Calibrate on the first healthy stretch of the test split.
+	var achieved []float64
+	var demands [][]float64
+	for snap := h; snap < h+15 && snap < env.Test.Len(); snap++ {
+		achieved = append(achieved, achieve(env.Test, snap))
+		demands = append(demands, env.Test.At(snap))
+	}
+	if err := det.Calibrate(achieved, demands); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy operation stays silent.
+	for snap := h + 15; snap < env.Test.Len(); snap++ {
+		fired, err := det.Observe(achieve(env.Test, snap), env.Test.At(snap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fired {
+			t.Fatalf("trigger fired on healthy traffic at snapshot %d", snap)
+		}
+	}
+
+	// Inject heavy adversarial drift; the model's efficiency collapses and
+	// the detector must eventually advise retraining.
+	drifted := traffic.WorstCasePerturb(env.Test, env.Train, 6.0, 99)
+	fired := false
+	for snap := h; snap < drifted.Len(); snap++ {
+		ok, err := det.Observe(achieve(drifted, snap), drifted.At(snap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Error("detector never advised retraining under heavy drift")
+	}
+}

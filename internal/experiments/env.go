@@ -1,0 +1,199 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5, Appendices C, E, F, G) on the synthetic substrates of this
+// repository. Each experiment is a function returning a typed result that
+// renders the paper's rows/series as text; cmd/experiments and the top-level
+// benchmark suite drive them.
+//
+// Experiments run at two scales:
+//
+//   - ScaleFull uses the paper's exact topology sizes (Table 1). Fine for
+//     topology/LP benchmarks, but DNN training on the ToR-level fabrics is
+//     slow in pure Go.
+//   - ScaleFast keeps every topology family's *shape* (full mesh, random
+//     regular, ring+chords) but reduces node counts so the complete
+//     experiment suite runs in minutes. EXPERIMENTS.md records which scale
+//     produced each number.
+package experiments
+
+import (
+	"fmt"
+
+	"figret/internal/baselines"
+	"figret/internal/figret"
+	"figret/internal/graph"
+	"figret/internal/solver"
+	"figret/internal/te"
+	"figret/internal/traffic"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// ScaleFast shrinks topologies for quick end-to-end runs.
+	ScaleFast Scale = iota
+	// ScaleFull uses the paper's Table 1 sizes.
+	ScaleFull
+)
+
+// Env bundles everything an experiment needs for one topology/workload.
+type Env struct {
+	Topo  string
+	Scale Scale
+	G     *graph.Graph
+	PS    *te.PathSet
+	Trace *traffic.Trace
+	Train *traffic.Trace
+	Test  *traffic.Trace
+	Solve baselines.SolveFunc
+	Seed  int64
+	Paths int
+	// TestStart is Test's offset within Trace (snapshots before it are
+	// training history usable for window warmup).
+	TestStart int
+}
+
+// fastGraph returns the reduced-size counterpart of a named topology.
+func fastGraph(name string) (*graph.Graph, error) {
+	switch name {
+	case graph.TopoGEANT:
+		return graph.GEANT(), nil // already small
+	case graph.TopoUsCarrier:
+		return graph.RingWithChords(30, 38, 10, 1581)
+	case graph.TopoCogentco:
+		return graph.RingWithChords(36, 45, 10, 1971)
+	case graph.TopoPFabric:
+		return graph.PFabric(), nil
+	case graph.TopoPoDDB:
+		return graph.PoDDB(), nil
+	case graph.TopoPoDWEB:
+		return graph.PoDWEB(), nil
+	case graph.TopoToRDB:
+		return graph.RandomRegularish(20, 60, 10, 155)
+	case graph.TopoToRWEB:
+		return graph.RandomRegularish(26, 91, 10, 324)
+	default:
+		return nil, fmt.Errorf("experiments: unknown topology %q", name)
+	}
+}
+
+// EnvOptions tweaks environment construction.
+type EnvOptions struct {
+	// T is the trace length (default 200 fast / 400 full).
+	T int
+	// K is the candidate-path count (default 3, the paper's setting).
+	K int
+	// Seed defaults to 1.
+	Seed int64
+	// Selector overrides path selection (default Yen; Figure 6 passes the
+	// Räcke-style selector).
+	Selector te.PathSelector
+}
+
+// NewEnv builds the evaluation environment for a named topology.
+func NewEnv(topo string, scale Scale, opt EnvOptions) (*Env, error) {
+	if opt.T == 0 {
+		if scale == ScaleFast {
+			opt.T = 200
+		} else {
+			opt.T = 400
+		}
+	}
+	if opt.K == 0 {
+		opt.K = 3
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	var g *graph.Graph
+	var err error
+	if scale == ScaleFull {
+		g, err = graph.ByName(topo)
+	} else {
+		g, err = fastGraph(topo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ps, err := te.NewPathSet(g, opt.K, opt.Selector)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := traffic.ForTopology(topo, g.NumVertices(), opt.T, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Scale traffic so the omniscient MLU sits in a realistic band (~0.5):
+	// normalize by the mean-demand-driven uniform-config MLU.
+	calibrate(ps, tr)
+	train, test := tr.Split(0.75)
+	return &Env{
+		Topo:      topo,
+		Scale:     scale,
+		G:         g,
+		PS:        ps,
+		Trace:     tr,
+		Train:     train,
+		Test:      test,
+		Solve:     baselines.AutoSolve(ps),
+		Seed:      opt.Seed,
+		Paths:     opt.K,
+		TestStart: train.Len(),
+	}, nil
+}
+
+// calibrate rescales the trace so the mean-demand uniform-split MLU is 0.5,
+// keeping every topology's utilization in a comparable band regardless of
+// generator units.
+func calibrate(ps *te.PathSet, tr *traffic.Trace) {
+	mean := make([]float64, tr.Pairs.Count())
+	for _, s := range tr.Snapshots {
+		for i, v := range s {
+			mean[i] += v
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(tr.Len())
+	}
+	u := te.UniformConfig(ps)
+	m, _ := ps.MLU(mean, u.R)
+	if m > 0 {
+		tr.Scale(0.5 / m)
+	}
+}
+
+// TrainModels trains FIGRET and DOTE on the environment's training split
+// with shared hyperparameters. Gamma and epochs default per scale.
+func (e *Env) TrainModels(h int, gamma float64, epochs int) (fig, dote *figret.Model, err error) {
+	if h == 0 {
+		h = 12
+	}
+	if epochs == 0 {
+		if e.Scale == ScaleFast {
+			epochs = 8
+		} else {
+			epochs = 15
+		}
+	}
+	if gamma == 0 {
+		gamma = 1
+	}
+	fig = figret.New(e.PS, figret.Config{H: h, Gamma: gamma, Epochs: epochs, Seed: e.Seed})
+	if _, err = fig.Train(e.Train); err != nil {
+		return nil, nil, err
+	}
+	dote = figret.NewDOTE(e.PS, figret.Config{H: h, Epochs: epochs, Seed: e.Seed})
+	if _, err = dote.Train(e.Train); err != nil {
+		return nil, nil, err
+	}
+	return fig, dote, nil
+}
+
+// GradSolve returns a gradient-based SolveFunc sized for this environment
+// (used where LP would dominate runtime, e.g. per-snapshot hedging series).
+func (e *Env) GradSolve(iters int) baselines.SolveFunc {
+	if iters == 0 {
+		iters = 300
+	}
+	return baselines.GradSolve(solver.Options{Iters: iters})
+}

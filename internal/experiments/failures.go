@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"figret/internal/baselines"
+	"figret/internal/lp"
+	"figret/internal/te"
+	"figret/internal/traffic"
+)
+
+// FailureResult is the Figure 7 (and Appendix E Figures 14/15) study:
+// normalized MLU under 1..3 random link failures for FIGRET, DOTE, Des TE
+// (all rerouting around failures per §4.5) and the fault-aware Des TE
+// oracle, normalized by an oracle that knows both demand and failures.
+type FailureResult struct {
+	Topo string
+	// Rows[k] holds stats for k+1 simultaneous failures.
+	Rows []FailureRow
+}
+
+// FailureRow aggregates one failure count.
+type FailureRow struct {
+	Failures int
+	Schemes  []SchemeStats
+}
+
+// FailureOptions configures the study.
+type FailureOptions struct {
+	H        int // window (default 12)
+	Gamma    float64
+	Epochs   int
+	MaxFail  int // failure counts 1..MaxFail (default 3)
+	Trials   int // failure sets sampled per count (default 5)
+	SnapsPer int // test snapshots per trial (default 6)
+}
+
+// Failures reproduces Figure 7 on the environment.
+func Failures(env *Env, opt FailureOptions) (*FailureResult, error) {
+	if opt.H == 0 {
+		opt.H = 12
+	}
+	if opt.MaxFail == 0 {
+		opt.MaxFail = 3
+	}
+	if opt.Trials == 0 {
+		opt.Trials = 5
+	}
+	if opt.SnapsPer == 0 {
+		opt.SnapsPer = 6
+	}
+	fig, dote, err := env.TrainModels(opt.H, opt.Gamma, opt.Epochs)
+	if err != nil {
+		return nil, err
+	}
+	des := &baselines.DesTE{PS: env.PS, Solve: env.Solve, H: opt.H}
+	rng := rand.New(rand.NewSource(env.Seed + 77))
+
+	res := &FailureResult{Topo: env.Topo}
+	for nf := 1; nf <= opt.MaxFail; nf++ {
+		agg := map[string][]float64{}
+		for trial := 0; trial < opt.Trials; trial++ {
+			fs, ok := sampleFailures(env.PS, rng, nf)
+			if !ok {
+				continue
+			}
+			for s := 0; s < opt.SnapsPer; s++ {
+				t := opt.H + (trial*opt.SnapsPer+s)%(env.Test.Len()-opt.H)
+				d := env.Test.At(t)
+				// Oracle: fault-aware omniscient.
+				_, oracle, err := lp.FaultAwareMLUMin(env.PS, d, fs, nil)
+				if err != nil || oracle <= 0 {
+					continue
+				}
+				// FIGRET / DOTE: predict then reroute.
+				fc, err := fig.PredictAt(env.Test, t)
+				if err != nil {
+					return nil, err
+				}
+				dc, err := dote.PredictAt(env.Test, t)
+				if err != nil {
+					return nil, err
+				}
+				sc, err := des.Advise(env.Test, t)
+				if err != nil {
+					return nil, err
+				}
+				agg["FIGRET"] = append(agg["FIGRET"], te.MLUUnderFailure(fc, fs, d)/oracle)
+				agg["DOTE"] = append(agg["DOTE"], te.MLUUnderFailure(dc, fs, d)/oracle)
+				agg["Des TE"] = append(agg["Des TE"], te.MLUUnderFailure(sc, fs, d)/oracle)
+				// FA Des TE: knows the failures, solves only over alive paths
+				// (with hedging caps) for the peak matrix.
+				peak := env.Test.PeakMatrix(t, opt.H)
+				caps := lp.SensitivityCaps(env.PS, lp.ConstantF(2.0/3.0))
+				fa, _, err := lp.FaultAwareMLUMin(env.PS, peak, fs, caps)
+				if err != nil {
+					// Caps may be infeasible after failures; retry uncapped.
+					fa, _, err = lp.FaultAwareMLUMin(env.PS, peak, fs, nil)
+					if err != nil {
+						continue
+					}
+				}
+				agg["FA Des TE"] = append(agg["FA Des TE"], fa.MLU(d)/oracle)
+			}
+		}
+		row := FailureRow{Failures: nf}
+		for _, name := range []string{"FIGRET", "DOTE", "Des TE", "FA Des TE"} {
+			xs := agg[name]
+			if len(xs) == 0 {
+				continue
+			}
+			st := SchemeStats{Name: name, Stats: traffic.Summarize(xs)}
+			sum := 0.0
+			severe := 0
+			for _, v := range xs {
+				sum += v
+				if v > 2 {
+					severe++
+				}
+			}
+			st.AvgMLU = sum / float64(len(xs))
+			st.SevereCongestion = float64(severe) / float64(len(xs))
+			row.Schemes = append(row.Schemes, st)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// sampleFailures draws nf distinct link failures that leave every SD pair
+// with at least one surviving candidate path, so rerouting and the
+// fault-aware LP both remain well-defined.
+func sampleFailures(ps *te.PathSet, rng *rand.Rand, nf int) (*te.FailureSet, bool) {
+	edges := ps.G.Edges()
+	for attempt := 0; attempt < 200; attempt++ {
+		seen := map[[2]int]bool{}
+		var links [][2]int
+		for len(links) < nf {
+			e := edges[rng.Intn(len(edges))]
+			a, b := e.From, e.To
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]int{a, b}] {
+				continue
+			}
+			seen[[2]int{a, b}] = true
+			links = append(links, [2]int{a, b})
+		}
+		fs := te.NewFailureSet(ps.G, links)
+		ok := true
+		for _, pp := range ps.PairPaths {
+			alive := false
+			for _, p := range pp {
+				if !fs.PathDown(ps, p) {
+					alive = true
+					break
+				}
+			}
+			if !alive {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return fs, true
+		}
+	}
+	return nil, false
+}
+
+// String renders the per-failure-count comparison.
+func (r *FailureResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Link failures on %s (MLU normalized by demand+failure-aware oracle)\n", r.Topo)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "-- %d failure(s)\n", row.Failures)
+		fmt.Fprintf(&b, "%-12s %8s %8s %8s\n", "scheme", "avg", "median", "max")
+		for _, s := range row.Schemes {
+			fmt.Fprintf(&b, "%-12s %8.3f %8.3f %8.3f\n", s.Name, s.AvgMLU, s.Stats.Median, s.Stats.Max)
+		}
+	}
+	b.WriteString("expected shape: FIGRET ≈ FA Des TE, both better than DOTE and Des TE\n")
+	return b.String()
+}
+
+// Row returns stats for a given failure count, or nil.
+func (r *FailureResult) Row(failures int) *FailureRow {
+	for i := range r.Rows {
+		if r.Rows[i].Failures == failures {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Scheme returns the named scheme's stats within a row, or nil.
+func (row *FailureRow) Scheme(name string) *SchemeStats {
+	for i := range row.Schemes {
+		if row.Schemes[i].Name == name {
+			return &row.Schemes[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"figret/internal/graph"
+	"figret/internal/lp"
+	"figret/internal/te"
+)
+
+// MismatchResult is the Appendix G.1 (Figure 19) worked example: two traffic
+// predictions with identical mean-squared error lead to different MLUs once
+// their LP-optimal configurations meet the real demand — the objective
+// mismatch that motivates end-to-end TE.
+type MismatchResult struct {
+	// PredA/PredB are the two predictions (d1, d2); Real is the upcoming
+	// demand.
+	PredA, PredB, Real [2]float64
+	MSEA, MSEB         float64
+	MLUA, MLUB         float64
+}
+
+// PredictionMismatch builds Figure 19's topology — source s, relay r and
+// destinations t1, t2, with the t1-side capacities at 50 and the t2-side at
+// 100 — and evaluates the two equal-MSE predictions (50,60) and (60,50)
+// against the real demand (60,60).
+func PredictionMismatch() (*MismatchResult, error) {
+	// Vertices: s=0, r=1, t1=2, t2=3.
+	g := graph.New(4)
+	g.MustAddEdge(0, 2, 50)  // s -> t1
+	g.MustAddEdge(0, 3, 100) // s -> t2
+	g.MustAddEdge(0, 1, 50)  // s -> r
+	g.MustAddEdge(1, 2, 50)  // r -> t1
+	g.MustAddEdge(1, 3, 100) // r -> t2
+	// Reverse edges so every pair keeps a candidate path (required by the
+	// path-set builder); reverse capacities mirror the forward ones.
+	g.MustAddEdge(2, 0, 50)
+	g.MustAddEdge(3, 0, 100)
+	g.MustAddEdge(1, 0, 50)
+	g.MustAddEdge(2, 1, 50)
+	g.MustAddEdge(3, 1, 100)
+
+	ps, err := te.NewPathSet(g, 2, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &MismatchResult{
+		PredA: [2]float64{50, 60},
+		PredB: [2]float64{60, 50},
+		Real:  [2]float64{60, 60},
+	}
+	mse := func(p [2]float64) float64 {
+		da := p[0] - res.Real[0]
+		db := p[1] - res.Real[1]
+		return (da*da + db*db) / 2
+	}
+	res.MSEA, res.MSEB = mse(res.PredA), mse(res.PredB)
+
+	demand := func(d1, d2 float64) []float64 {
+		d := make([]float64, ps.Pairs.Count())
+		d[ps.Pairs.Index(0, 2)] = d1
+		d[ps.Pairs.Index(0, 3)] = d2
+		return d
+	}
+	real := demand(res.Real[0], res.Real[1])
+	for i, pred := range [][2]float64{res.PredA, res.PredB} {
+		cfg, _, err := lp.MLUMin(ps, demand(pred[0], pred[1]))
+		if err != nil {
+			return nil, err
+		}
+		m := cfg.MLU(real)
+		if i == 0 {
+			res.MLUA = m
+		} else {
+			res.MLUB = m
+		}
+	}
+	return res, nil
+}
+
+// String renders the example.
+func (r *MismatchResult) String() string {
+	var b strings.Builder
+	b.WriteString("Prediction-accuracy vs MLU mismatch (Figure 19 example)\n")
+	fmt.Fprintf(&b, "real demand (d1,d2) = (%.0f,%.0f)\n", r.Real[0], r.Real[1])
+	fmt.Fprintf(&b, "prediction A (%.0f,%.0f): MSE %.1f -> real MLU %.4f\n",
+		r.PredA[0], r.PredA[1], r.MSEA, r.MLUA)
+	fmt.Fprintf(&b, "prediction B (%.0f,%.0f): MSE %.1f -> real MLU %.4f\n",
+		r.PredB[0], r.PredB[1], r.MSEB, r.MLUB)
+	b.WriteString("equal prediction error, different MLU: mispredicting the fat-path\n")
+	b.WriteString("destination (t2, capacity 100) is cheaper than mispredicting t1\n")
+	return b.String()
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"figret/internal/figret"
+	"figret/internal/traffic"
+)
+
+// PerturbationResult covers Tables 3 and 5: FIGRET's degradation under
+// increasing synthetic fluctuations, in the paper's two regimes (variance-
+// aligned noise for Table 3, variance-rank-reversed noise for Table 5).
+type PerturbationResult struct {
+	Topo      string
+	WorstCase bool
+	Alphas    []float64
+	// AvgDecline[i] and P90Decline[i] are percentage increases of the mean
+	// and 90th-percentile MLU at Alphas[i] relative to the unperturbed run.
+	AvgDecline []float64
+	P90Decline []float64
+	// Spearman is the train/test variance-rank correlation (reported with
+	// Table 5 to show how unlikely the worst case is).
+	Spearman float64
+}
+
+// Perturbation reproduces Table 3 (worstCase=false) or Table 5
+// (worstCase=true) on the environment.
+func Perturbation(env *Env, h int, gamma float64, epochs int, alphas []float64, worstCase bool) (*PerturbationResult, error) {
+	if h == 0 {
+		h = 12
+	}
+	if len(alphas) == 0 {
+		alphas = []float64{0.2, 0.5, 1.0, 2.0}
+	}
+	fig, _, err := env.TrainModels(h, gamma, epochs)
+	if err != nil {
+		return nil, err
+	}
+	baseAvg, baseP90, err := evalModel(fig, env.Test, h)
+	if err != nil {
+		return nil, err
+	}
+	res := &PerturbationResult{Topo: env.Topo, WorstCase: worstCase, Alphas: alphas}
+	res.Spearman = traffic.SpearmanRank(env.Train.Variances(), env.Test.Variances())
+	for i, a := range alphas {
+		var pert *traffic.Trace
+		if worstCase {
+			pert = traffic.WorstCasePerturb(env.Test, env.Train, a, env.Seed+int64(100+i))
+		} else {
+			pert = traffic.Perturb(env.Test, env.Train, a, env.Seed+int64(100+i))
+		}
+		avg, p90, err := evalModel(fig, pert, h)
+		if err != nil {
+			return nil, err
+		}
+		res.AvgDecline = append(res.AvgDecline, 100*(avg-baseAvg)/baseAvg)
+		res.P90Decline = append(res.P90Decline, 100*(p90-baseP90)/baseP90)
+	}
+	return res, nil
+}
+
+// evalModel runs a trained model over a trace and returns (mean, p90) MLU.
+func evalModel(m *figret.Model, tr *traffic.Trace, h int) (avg, p90 float64, err error) {
+	var series []float64
+	for t := h; t < tr.Len(); t++ {
+		cfg, err := m.PredictAt(tr, t)
+		if err != nil {
+			return 0, 0, err
+		}
+		series = append(series, cfg.MLU(tr.At(t)))
+	}
+	if len(series) == 0 {
+		return 0, 0, fmt.Errorf("experiments: no snapshots to evaluate")
+	}
+	sum := 0.0
+	for _, v := range series {
+		sum += v
+	}
+	return sum / float64(len(series)), traffic.Quantile(series, 0.9), nil
+}
+
+// String renders the table.
+func (r *PerturbationResult) String() string {
+	var b strings.Builder
+	kind := "variance-aligned (Table 3)"
+	if r.WorstCase {
+		kind = "variance-rank-reversed worst case (Table 5)"
+	}
+	fmt.Fprintf(&b, "FIGRET degradation on %s under %s fluctuations\n", r.Topo, kind)
+	fmt.Fprintf(&b, "%-8s", "alpha")
+	for _, a := range r.Alphas {
+		fmt.Fprintf(&b, " %8.1f", a)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-8s", "avg %")
+	for _, v := range r.AvgDecline {
+		fmt.Fprintf(&b, " %+8.1f", v)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-8s", "p90 %")
+	for _, v := range r.P90Decline {
+		fmt.Fprintf(&b, " %+8.1f", v)
+	}
+	b.WriteString("\n")
+	if r.WorstCase {
+		fmt.Fprintf(&b, "train/test variance-rank Spearman correlation: %.2f (high ⇒ worst case is rare)\n", r.Spearman)
+	}
+	return b.String()
+}
+
+// DriftResult is the Table 4 study: training on older data segments and
+// testing on the final 25%.
+type DriftResult struct {
+	Topo     string
+	Segments []string
+	// AvgDecline / P90Decline are percentage changes vs the 0–75% model.
+	AvgDecline []float64
+	P90Decline []float64
+}
+
+// Drift reproduces Table 4.
+func Drift(env *Env, h int, gamma float64, epochs int) (*DriftResult, error) {
+	if h == 0 {
+		h = 12
+	}
+	n := env.Trace.Len()
+	q := n / 4
+	test := env.Trace.Slice(3*q, n)
+	segs := []struct {
+		name     string
+		from, to int
+	}{
+		{"0-75% (ref)", 0, 3 * q},
+		{"0-25%", 0, q},
+		{"25-50%", q, 2 * q},
+		{"50-75%", 2 * q, 3 * q},
+	}
+	var refAvg, refP90 float64
+	res := &DriftResult{Topo: env.Topo}
+	for i, sg := range segs {
+		m := figret.New(env.PS, figret.Config{H: h, Gamma: orDefault(gamma, 1), Epochs: orDefaultInt(epochs, 8), Seed: env.Seed})
+		if _, err := m.Train(env.Trace.Slice(sg.from, sg.to)); err != nil {
+			return nil, fmt.Errorf("segment %s: %w", sg.name, err)
+		}
+		avg, p90, err := evalModel(m, test, h)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			refAvg, refP90 = avg, p90
+			continue
+		}
+		res.Segments = append(res.Segments, sg.name)
+		res.AvgDecline = append(res.AvgDecline, 100*(avg-refAvg)/refAvg)
+		res.P90Decline = append(res.P90Decline, 100*(p90-refP90)/refP90)
+	}
+	return res, nil
+}
+
+func orDefault(v, d float64) float64 {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+func orDefaultInt(v, d int) int {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+// String renders Table 4.
+func (r *DriftResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGRET under natural traffic drift on %s (vs model trained on 0-75%%)\n", r.Topo)
+	fmt.Fprintf(&b, "%-10s", "segment")
+	for _, s := range r.Segments {
+		fmt.Fprintf(&b, " %10s", s)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-10s", "avg %")
+	for _, v := range r.AvgDecline {
+		fmt.Fprintf(&b, " %+10.1f", v)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-10s", "p90 %")
+	for _, v := range r.P90Decline {
+		fmt.Fprintf(&b, " %+10.1f", v)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

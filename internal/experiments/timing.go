@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"figret/internal/baselines"
+	"figret/internal/figret"
+	"figret/internal/lp"
+	"figret/internal/solver"
+)
+
+// TimingResult is the Table 2 study: per-scheme calculation time (time to
+// produce a configuration for one new demand matrix) and precomputation
+// time (training / cutting-plane solving).
+type TimingResult struct {
+	Topo          string
+	Nodes, Edges  int
+	FigretCalc    time.Duration // one DNN forward + normalization
+	LPCalc        time.Duration // plain MLU LP (0 if skipped as infeasible)
+	DesTECalc     time.Duration // sensitivity-capped LP (0 if skipped)
+	GradCalc      time.Duration // gradient solver (the LP substitute at scale)
+	LPFeasible    bool          // dense LP attempted at this scale
+	FigretPrecomp time.Duration // training time
+	ObliviousPre  time.Duration // cutting-plane time (0 if skipped)
+	ObliviousOK   bool
+}
+
+// TimingOptions configures the Table 2 run.
+type TimingOptions struct {
+	H         int
+	Epochs    int // figret training epochs for the precomputation column
+	LPMaxRows int // dense-LP feasibility cutoff (default 1200 rows)
+	GradIters int
+}
+
+// Timing reproduces Table 2 on one environment.
+func Timing(env *Env, opt TimingOptions) (*TimingResult, error) {
+	if opt.H == 0 {
+		opt.H = 12
+	}
+	if opt.Epochs == 0 {
+		opt.Epochs = 3
+	}
+	if opt.LPMaxRows == 0 {
+		opt.LPMaxRows = 1200
+	}
+	if opt.GradIters == 0 {
+		opt.GradIters = 300
+	}
+	res := &TimingResult{
+		Topo:  env.Topo,
+		Nodes: env.G.NumVertices(),
+		Edges: env.G.NumEdges(),
+	}
+	d := env.Test.At(env.Test.Len() - 1)
+
+	// FIGRET: train briefly, then time inference.
+	m := figret.New(env.PS, figret.Config{H: opt.H, Gamma: 1, Epochs: opt.Epochs, Seed: env.Seed})
+	start := time.Now()
+	if _, err := m.Train(env.Train); err != nil {
+		return nil, err
+	}
+	res.FigretPrecomp = time.Since(start)
+	w := env.Test.Window(env.Test.Len(), opt.H)
+	start = time.Now()
+	const reps = 5
+	for i := 0; i < reps; i++ {
+		if _, err := m.Predict(w); err != nil {
+			return nil, err
+		}
+	}
+	res.FigretCalc = time.Since(start) / reps
+
+	// LP and Des TE (capped LP), only at dense-simplex-feasible scale.
+	rows := env.PS.Pairs.Count() + env.G.NumEdges()
+	res.LPFeasible = rows <= opt.LPMaxRows
+	if res.LPFeasible {
+		start = time.Now()
+		if _, _, err := lp.MLUMin(env.PS, d); err != nil {
+			return nil, err
+		}
+		res.LPCalc = time.Since(start)
+		caps := lp.SensitivityCaps(env.PS, lp.ConstantF(2.0/3.0))
+		start = time.Now()
+		if _, _, err := lp.MLUMinCapped(env.PS, d, caps); err != nil {
+			return nil, err
+		}
+		res.DesTECalc = time.Since(start)
+	}
+
+	// Gradient solver (LP substitute at any scale).
+	start = time.Now()
+	solver.MinimizeMLU(env.PS, d, solver.Options{Iters: opt.GradIters})
+	res.GradCalc = time.Since(start)
+
+	// Oblivious precomputation, small scale only (as in the paper, where it
+	// is infeasible beyond GEANT/pFabric/PoD).
+	if rows <= 300 {
+		dmax := baselines.PeakDemand(env.Train)
+		start = time.Now()
+		if _, _, err := baselines.ObliviousConfig(env.PS, dmax, 6); err == nil {
+			res.ObliviousPre = time.Since(start)
+			res.ObliviousOK = true
+		}
+	}
+	return res, nil
+}
+
+// Speedup returns the Des-TE-vs-FIGRET calculation-time ratio (the paper's
+// headline 35×–1800×); it uses the gradient solve when the LP was skipped.
+func (r *TimingResult) Speedup() float64 {
+	des := r.DesTECalc
+	if des == 0 {
+		des = r.GradCalc
+	}
+	if r.FigretCalc == 0 {
+		return 0
+	}
+	return float64(des) / float64(r.FigretCalc)
+}
+
+// String renders one Table 2 row set.
+func (r *TimingResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Solver timing on %s (#nodes %d, #edges %d)\n", r.Topo, r.Nodes, r.Edges)
+	fmt.Fprintf(&b, "  FIGRET calc:  %12v\n", r.FigretCalc)
+	if r.LPFeasible {
+		fmt.Fprintf(&b, "  LP calc:      %12v\n", r.LPCalc)
+		fmt.Fprintf(&b, "  Des TE calc:  %12v\n", r.DesTECalc)
+	} else {
+		fmt.Fprintf(&b, "  LP calc:      infeasible at this scale (dense simplex)\n")
+		fmt.Fprintf(&b, "  grad-solver:  %12v (LP substitute)\n", r.GradCalc)
+	}
+	fmt.Fprintf(&b, "  speedup (Des TE / FIGRET): %.0fx\n", r.Speedup())
+	fmt.Fprintf(&b, "  FIGRET precomp: %10v\n", r.FigretPrecomp)
+	if r.ObliviousOK {
+		fmt.Fprintf(&b, "  Oblivious precomp: %7v\n", r.ObliviousPre)
+	} else {
+		fmt.Fprintf(&b, "  Oblivious precomp: infeasible at this scale\n")
+	}
+	return b.String()
+}

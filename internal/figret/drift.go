@@ -1,0 +1,155 @@
+package figret
+
+import (
+	"fmt"
+	"math"
+
+	"figret/internal/te"
+)
+
+// DriftDetector implements the retraining trigger sketched in §6 ("When
+// should FIGRET be retrained?"): instead of blind periodic retraining, it
+// watches the ratio between the MLU the deployed model actually achieves and
+// a cheap demand-derived lower bound on the achievable MLU. When the
+// exponentially weighted average of that ratio exceeds its calibration level
+// by a configurable factor, retraining is advised.
+//
+// The lower bound needs no solver: for any configuration,
+//
+//	MLU ≥ max_sd d_sd / Σ_{p∈P_sd} C_p     (a pair's traffic cannot use more
+//	                                        than its paths' total capacity)
+//	MLU ≥ Σ_sd d_sd·minHops_sd / Σ_e c_e   (volume × shortest hop count must
+//	                                        fit into the network)
+//
+// Both bounds are valid for every feasible configuration, so the ratio is
+// always ≥ 1 and drift-free operation keeps it near its calibration value.
+type DriftDetector struct {
+	ps *te.PathSet
+	// Threshold is the multiplicative degradation that triggers retraining
+	// (default 1.25: a 25% sustained efficiency drop).
+	Threshold float64
+	// Alpha is the EWMA smoothing factor (default 0.1).
+	Alpha float64
+	// Patience is the number of consecutive over-threshold observations
+	// required before retraining is advised (default 5), so isolated bursts
+	// never trigger.
+	Patience int
+
+	pairCapSum []float64
+	minHops    []float64
+	capTotal   float64
+
+	calibrated bool
+	baseline   float64
+	ewma       float64
+	over       int // consecutive over-threshold observations
+}
+
+// NewDriftDetector builds a detector for the model's topology.
+func NewDriftDetector(ps *te.PathSet) *DriftDetector {
+	d := &DriftDetector{
+		ps:        ps,
+		Threshold: 1.25,
+		Alpha:     0.1,
+		Patience:  5,
+	}
+	d.pairCapSum = make([]float64, ps.Pairs.Count())
+	d.minHops = make([]float64, ps.Pairs.Count())
+	for pi, pp := range ps.PairPaths {
+		min := math.Inf(1)
+		for _, p := range pp {
+			d.pairCapSum[pi] += ps.Cap[p]
+			if h := float64(len(ps.Paths[p]) - 1); h < min {
+				min = h
+			}
+		}
+		d.minHops[pi] = min
+	}
+	for _, e := range ps.G.Edges() {
+		d.capTotal += e.Capacity
+	}
+	return d
+}
+
+// LowerBound returns the demand-derived MLU lower bound.
+func (d *DriftDetector) LowerBound(demand []float64) float64 {
+	var volume float64
+	best := 0.0
+	for pi, v := range demand {
+		if v <= 0 {
+			continue
+		}
+		volume += v * d.minHops[pi]
+		if d.pairCapSum[pi] > 0 {
+			if b := v / d.pairCapSum[pi]; b > best {
+				best = b
+			}
+		}
+	}
+	if d.capTotal > 0 {
+		if b := volume / d.capTotal; b > best {
+			best = b
+		}
+	}
+	return best
+}
+
+// Calibrate establishes the healthy ratio level from (achievedMLU, demand)
+// observations collected right after training.
+func (d *DriftDetector) Calibrate(achieved []float64, demands [][]float64) error {
+	if len(achieved) != len(demands) || len(achieved) == 0 {
+		return fmt.Errorf("figret: calibration needs matching non-empty series")
+	}
+	var sum float64
+	var n int
+	for i, m := range achieved {
+		if r, ok := d.ratio(m, demands[i]); ok {
+			sum += r
+			n++
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("figret: no usable calibration samples")
+	}
+	d.baseline = sum / float64(n)
+	d.ewma = d.baseline
+	d.calibrated = true
+	d.over = 0
+	return nil
+}
+
+func (d *DriftDetector) ratio(achieved float64, demand []float64) (float64, bool) {
+	lb := d.LowerBound(demand)
+	if lb <= 0 || achieved <= 0 {
+		return 0, false
+	}
+	return achieved / lb, true
+}
+
+// Observe feeds one deployment interval and reports whether retraining is
+// advised. It returns an error before calibration.
+func (d *DriftDetector) Observe(achievedMLU float64, demand []float64) (retrain bool, err error) {
+	if !d.calibrated {
+		return false, fmt.Errorf("figret: detector not calibrated")
+	}
+	r, ok := d.ratio(achievedMLU, demand)
+	if !ok {
+		return false, nil
+	}
+	d.ewma = (1-d.Alpha)*d.ewma + d.Alpha*r
+	// Only sustained degradation triggers: the instantaneous ratio must
+	// exceed the threshold Patience times in a row AND the smoothed ratio
+	// must agree. An isolated burst inflates the EWMA briefly but resets
+	// the consecutive counter immediately.
+	if r > d.baseline*d.Threshold {
+		d.over++
+	} else {
+		d.over = 0
+	}
+	return d.over >= d.Patience && d.ewma > d.baseline*d.Threshold, nil
+}
+
+// Status exposes the current smoothed ratio and the calibration baseline.
+func (d *DriftDetector) Status() (ewma, baseline float64, calibrated bool) {
+	return d.ewma, d.baseline, d.calibrated
+}

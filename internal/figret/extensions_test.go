@@ -1,0 +1,227 @@
+package figret
+
+import (
+	"math"
+	"testing"
+
+	"figret/internal/graph"
+	"figret/internal/te"
+	"figret/internal/traffic"
+)
+
+// --- Latency extension (§6) ------------------------------------------------
+
+func TestPathStretch(t *testing.T) {
+	ps, err := te.NewPathSet(graph.Triangle(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pathStretch(ps)
+	for p, v := range st {
+		hops := len(ps.Paths[p]) - 1
+		switch hops {
+		case 1:
+			if v != 0 {
+				t.Errorf("direct path %d stretch %v", p, v)
+			}
+		case 2:
+			if v != 1 {
+				t.Errorf("two-hop path %d stretch %v", p, v)
+			}
+		default:
+			t.Errorf("unexpected hop count %d", hops)
+		}
+	}
+}
+
+func TestLatencyLossGradient(t *testing.T) {
+	ps, err := te.NewPathSet(graph.Triangle(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(ps, Config{H: 2, LatencyWeight: 1, Seed: 1})
+	// Zero demand: no latency gradient (demand-share weighting).
+	s := newLossScratch(ps)
+	cfg := te.UniformConfig(ps)
+	_, _, gr := m.lossAndGrad(cfg.R, make([]float64, ps.Pairs.Count()), s)
+	for p, g := range gr {
+		if g != 0 {
+			t.Errorf("zero-demand latency gradient on path %d: %v", p, g)
+		}
+	}
+	// With demand on one pair, only that pair's stretched path gets a
+	// latency gradient contribution beyond the MLU part... verify the
+	// stretched path's gradient exceeds the direct path's.
+	d := make([]float64, ps.Pairs.Count())
+	pi := ps.Pairs.Index(0, 1)
+	d[pi] = 1
+	_, _, gr = m.lossAndGrad(cfg.R, d, s)
+	pp := ps.PairPaths[pi]
+	var direct, stretched int
+	if len(ps.Paths[pp[0]]) == 2 {
+		direct, stretched = pp[0], pp[1]
+	} else {
+		direct, stretched = pp[1], pp[0]
+	}
+	if gr[stretched] <= gr[direct] {
+		t.Errorf("stretched-path gradient %v not above direct %v", gr[stretched], gr[direct])
+	}
+}
+
+func TestLatencyWeightShortensPaths(t *testing.T) {
+	// Training with a strong latency weight must yield configurations with
+	// lower demand-weighted stretch than without it.
+	ps, err := te.NewPathSet(graph.FullMesh(4, 10), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := traffic.NewTrace(4)
+	for i := 0; i < 80; i++ {
+		snap := make([]float64, ps.Pairs.Count())
+		for j := range snap {
+			snap[j] = 4 + 0.1*math.Sin(float64(i+j))
+		}
+		tr.Append(snap)
+	}
+	plain := New(ps, Config{H: 3, Epochs: 6, Seed: 2})
+	lat := New(ps, Config{H: 3, Epochs: 6, Seed: 2, LatencyWeight: 20})
+	if _, err := plain.Train(tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lat.Train(tr); err != nil {
+		t.Fatal(err)
+	}
+	stretch := pathStretch(ps)
+	avgStretch := func(m *Model) float64 {
+		cfg, err := m.PredictAt(tr, tr.Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for p, r := range cfg.R {
+			s += r * stretch[p]
+		}
+		return s
+	}
+	if as, ap := avgStretch(lat), avgStretch(plain); as >= ap {
+		t.Errorf("latency-trained stretch %v not below plain %v", as, ap)
+	}
+}
+
+// --- Drift detector (§6) -----------------------------------------------------
+
+func driftSetup(t *testing.T) (*te.PathSet, *DriftDetector) {
+	t.Helper()
+	ps, err := te.NewPathSet(graph.Triangle(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps, NewDriftDetector(ps)
+}
+
+func TestLowerBoundValidity(t *testing.T) {
+	// The bound must never exceed the true optimum (checked against the
+	// all-direct config, itself an upper bound on the optimum here).
+	ps, det := driftSetup(t)
+	d := make([]float64, ps.Pairs.Count())
+	d[ps.Pairs.Index(0, 1)] = 3
+	d[ps.Pairs.Index(1, 2)] = 1
+	lb := det.LowerBound(d)
+	direct := te.NewConfig(ps).MLU(d)
+	if lb > direct+1e-9 {
+		t.Errorf("lower bound %v exceeds achievable MLU %v", lb, direct)
+	}
+	if lb <= 0 {
+		t.Errorf("lower bound %v not positive", lb)
+	}
+	// Pair-capacity bound: pair (0,1) has two paths of capacity 2 -> total 4;
+	// demand 3 forces MLU >= 0.75.
+	if lb < 0.75-1e-9 {
+		t.Errorf("lower bound %v below pair-capacity bound 0.75", lb)
+	}
+}
+
+func TestDriftDetectorLifecycle(t *testing.T) {
+	ps, det := driftSetup(t)
+	d := make([]float64, ps.Pairs.Count())
+	for i := range d {
+		d[i] = 1
+	}
+	// Observing before calibration errors.
+	if _, err := det.Observe(1, d); err == nil {
+		t.Error("uncalibrated Observe accepted")
+	}
+	// Calibrate at ratio ~= achieved/lb.
+	lb := det.LowerBound(d)
+	achieved := make([]float64, 10)
+	demands := make([][]float64, 10)
+	for i := range achieved {
+		achieved[i] = 1.2 * lb
+		demands[i] = d
+	}
+	if err := det.Calibrate(achieved, demands); err != nil {
+		t.Fatal(err)
+	}
+	_, baseline, ok := det.Status()
+	if !ok || math.Abs(baseline-1.2) > 1e-9 {
+		t.Fatalf("baseline = %v, calibrated = %v", baseline, ok)
+	}
+	// Healthy operation: no retrain.
+	for i := 0; i < 20; i++ {
+		retrain, err := det.Observe(1.2*lb, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if retrain {
+			t.Fatal("healthy operation triggered retrain")
+		}
+	}
+	// Sustained degradation: retrain within a bounded number of steps.
+	fired := false
+	for i := 0; i < 60; i++ {
+		retrain, err := det.Observe(2.5*lb, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if retrain {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Error("sustained degradation never triggered retrain")
+	}
+}
+
+func TestDriftDetectorSingleBurstTolerated(t *testing.T) {
+	ps, det := driftSetup(t)
+	d := make([]float64, ps.Pairs.Count())
+	for i := range d {
+		d[i] = 1
+	}
+	lb := det.LowerBound(d)
+	achieved := []float64{1.1 * lb, 1.1 * lb, 1.1 * lb}
+	demands := [][]float64{d, d, d}
+	if err := det.Calibrate(achieved, demands); err != nil {
+		t.Fatal(err)
+	}
+	// One huge spike followed by normal operation must not trigger.
+	if retrain, _ := det.Observe(10*lb, d); retrain {
+		t.Error("single spike triggered retrain immediately")
+	}
+	for i := 0; i < 30; i++ {
+		if retrain, _ := det.Observe(1.1*lb, d); retrain {
+			t.Error("retrain triggered during recovery")
+		}
+	}
+}
+
+func TestDriftDetectorCalibrateValidation(t *testing.T) {
+	_, det := driftSetup(t)
+	if err := det.Calibrate(nil, nil); err == nil {
+		t.Error("empty calibration accepted")
+	}
+	if err := det.Calibrate([]float64{1}, [][]float64{}); err == nil {
+		t.Error("mismatched calibration accepted")
+	}
+}

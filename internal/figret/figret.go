@@ -1,0 +1,527 @@
+// Package figret implements the paper's primary contribution: a deep-
+// learning TE scheme that maps a history window of demand matrices directly
+// to a TE configuration, trained with the burst-aware loss
+//
+//	L(R_t, D_t) = MLU(R_t, D_t) + γ · Σ_{s,d} σ²_sd · S^max_sd(R_t)
+//
+// (Equations 7 and 8). The first term teaches the network to minimize the
+// expected MLU of the upcoming demand; the second imposes variance-weighted
+// path-sensitivity pressure, yielding fine-grained robustness: bursty SD
+// pairs (large historical variance σ²_sd) are pushed toward low-sensitivity
+// (spread, high-capacity) path allocations while stable pairs are left free
+// to use their best paths.
+//
+// Setting γ = 0 recovers DOTE (Perry et al., NSDI'23), which is exactly how
+// the DOTE baseline is built in this repository.
+package figret
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"figret/internal/nn"
+	"figret/internal/te"
+	"figret/internal/traffic"
+)
+
+// Config holds FIGRET's hyperparameters. Zero values select the paper's
+// defaults where the paper specifies them.
+type Config struct {
+	// H is the history-window length (number of past demand matrices fed to
+	// the DNN). Default 12, the paper's evaluation setting.
+	H int
+	// Gamma weighs the robustness loss term L2. 0 disables it (DOTE).
+	Gamma float64
+	// Hidden lists hidden-layer widths. Default: five layers of 128
+	// (Appendix D.4).
+	Hidden []int
+	// LR is the Adam learning rate. Default 1e-3.
+	LR float64
+	// Epochs is the number of training passes. Default 15.
+	Epochs int
+	// Seed drives weight initialization and sample shuffling.
+	Seed int64
+	// BetaRel is the smooth-max sharpness used when differentiating the MLU
+	// term (see internal/solver). Default 30.
+	BetaRel float64
+	// BatchSize accumulates gradients over this many samples before each
+	// Adam step (default 1, per-sample updates as in the paper's protocol;
+	// larger batches trade update frequency for gradient smoothness).
+	BatchSize int
+	// LRDecay multiplies the learning rate after every epoch (default 1:
+	// constant rate). Values slightly below 1 (e.g. 0.95) stabilize the
+	// final epochs on bursty traces.
+	LRDecay float64
+	// CoarseGrained replaces the per-pair variance weights of the L2 term
+	// with a uniform weight of 1 — the coarse-grained robustness of
+	// desensitization-based TE, kept as an ablation of the paper's central
+	// fine-grained design choice.
+	CoarseGrained bool
+	// LatencyWeight enables the §6 latency extension: an additional loss
+	// term penalizing demand carried on stretched (longer-than-shortest)
+	// paths, λ · Σ_p r_p · stretch_p · d_pair/Σd, where stretch_p is the
+	// path's extra hop count over the pair's shortest candidate. 0 disables
+	// it. Like Gamma it is made dimensionless via LossScale.
+	LatencyWeight float64
+	// SelfTarget switches the training objective to TEAL-style per-demand
+	// optimization: the input window ends at D_t (inclusive) and the loss is
+	// evaluated against that same D_t. The default (false) is the
+	// FIGRET/DOTE protocol: the window ends at D_{t-1} and the loss is
+	// evaluated against the unseen D_t.
+	SelfTarget bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.H == 0 {
+		c.H = 12
+	}
+	if c.Hidden == nil {
+		c.Hidden = []int{128, 128, 128, 128, 128}
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 15
+	}
+	if c.BetaRel == 0 {
+		c.BetaRel = 30
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 1
+	}
+	if c.LRDecay == 0 {
+		c.LRDecay = 1
+	}
+	return c
+}
+
+// Model is a trained (or trainable) FIGRET instance bound to a path set.
+type Model struct {
+	PS  *te.PathSet
+	Cfg Config
+	Net *nn.MLP
+
+	// VarWeights are the normalized per-pair demand variances measured on
+	// the training trace (σ²_sd of Eq. 8, scaled to [0,1]).
+	VarWeights []float64
+	// Scale normalizes DNN inputs: demands are divided by Scale before the
+	// forward pass. Set from the training trace's mean demand.
+	Scale float64
+	// LossScale makes Gamma dimensionless: the L2 term is multiplied by the
+	// training trace's typical MLU (uniform-config average), so the two loss
+	// terms stay comparable regardless of the trace's demand units.
+	LossScale float64
+
+	// stretch[p] is path p's hop count minus its pair's minimum hop count,
+	// used by the latency loss term. Derived from the path set.
+	stretch []float64
+}
+
+// New constructs an untrained model for ps under cfg.
+func New(ps *te.PathSet, cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	in := cfg.H * ps.Pairs.Count()
+	sizes := append([]int{in}, cfg.Hidden...)
+	sizes = append(sizes, ps.NumPaths())
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Model{
+		PS:         ps,
+		Cfg:        cfg,
+		Net:        nn.NewMLP(sizes, nn.ReLU, nn.Sigmoid, rng),
+		VarWeights: make([]float64, ps.Pairs.Count()),
+		Scale:      1,
+		LossScale:  1,
+		stretch:    pathStretch(ps),
+	}
+}
+
+// pathStretch returns each path's extra hop count over its pair's shortest
+// candidate path.
+func pathStretch(ps *te.PathSet) []float64 {
+	out := make([]float64, ps.NumPaths())
+	for _, pp := range ps.PairPaths {
+		min := len(ps.Paths[pp[0]])
+		for _, p := range pp {
+			if len(ps.Paths[p]) < min {
+				min = len(ps.Paths[p])
+			}
+		}
+		for _, p := range pp {
+			out[p] = float64(len(ps.Paths[p]) - min)
+		}
+	}
+	return out
+}
+
+// NewDOTE constructs the DOTE baseline: identical architecture with the
+// robustness term disabled.
+func NewDOTE(ps *te.PathSet, cfg Config) *Model {
+	cfg.Gamma = 0
+	return New(ps, cfg)
+}
+
+// TrainStats reports per-epoch averages of the loss components.
+type TrainStats struct {
+	EpochLoss []float64 // total loss L1 + γ·L2
+	EpochMLU  []float64 // L1 alone (hard max)
+}
+
+// Train fits the model on tr using per-sample Adam updates, the protocol of
+// §4.3: for every t in [H, len), the window {D_{t-H}..D_{t-1}} is the input
+// and the revealed D_t scores the output configuration.
+func (m *Model) Train(tr *traffic.Trace) (TrainStats, error) {
+	if tr.Pairs.Count() != m.PS.Pairs.Count() {
+		return TrainStats{}, fmt.Errorf("figret: trace has %d pairs, model %d", tr.Pairs.Count(), m.PS.Pairs.Count())
+	}
+	H := m.Cfg.H
+	if tr.Len() <= H {
+		return TrainStats{}, fmt.Errorf("figret: trace length %d too short for window %d", tr.Len(), H)
+	}
+	// Fit input normalization and variance weights on the training trace.
+	m.Scale = meanDemand(tr)
+	if m.Scale <= 0 {
+		m.Scale = 1
+	}
+	vars := tr.Variances()
+	maxV := 0.0
+	for _, v := range vars {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	for i, v := range vars {
+		if maxV > 0 {
+			m.VarWeights[i] = v / maxV
+		} else {
+			m.VarWeights[i] = 0
+		}
+	}
+	if m.Cfg.CoarseGrained {
+		for i := range m.VarWeights {
+			m.VarWeights[i] = 1
+		}
+	}
+	m.LossScale = typicalMLU(m.PS, tr)
+
+	opt := nn.NewAdam(m.Cfg.LR)
+	rng := rand.New(rand.NewSource(m.Cfg.Seed + 1))
+	// With SelfTarget the window for target t ends at t itself, so targets
+	// start at H-1; otherwise the window is the H snapshots before t.
+	first := H
+	if m.Cfg.SelfTarget {
+		first = H - 1
+	}
+	order := make([]int, tr.Len()-first)
+	for i := range order {
+		order[i] = i + first
+	}
+	stats := TrainStats{}
+	scratch := newLossScratch(m.PS)
+	batch := m.Cfg.BatchSize
+	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var sumLoss, sumMLU float64
+		pending := 0
+		for _, t := range order {
+			wt := t
+			if m.Cfg.SelfTarget {
+				wt = t + 1
+			}
+			x := m.normalizedWindow(tr, wt)
+			y := m.Net.Forward(x)
+			r, dRtoY := normalizePerPair(m.PS, y)
+			loss, mlu, gr := m.lossAndGrad(r, tr.At(t), scratch)
+			dy := dRtoY(gr)
+			m.Net.Backward(dy)
+			pending++
+			if pending >= batch {
+				opt.Step(m.Net)
+				pending = 0
+			}
+			sumLoss += loss
+			sumMLU += mlu
+		}
+		if pending > 0 {
+			opt.Step(m.Net)
+		}
+		opt.LR *= m.Cfg.LRDecay
+		n := float64(len(order))
+		stats.EpochLoss = append(stats.EpochLoss, sumLoss/n)
+		stats.EpochMLU = append(stats.EpochMLU, sumMLU/n)
+	}
+	return stats, nil
+}
+
+// Predict maps a raw (unscaled) history window to a feasible TE
+// configuration. The window layout is H consecutive snapshots, oldest first,
+// as produced by traffic.Trace.Window.
+func (m *Model) Predict(window []float64) (*te.Config, error) {
+	want := m.Cfg.H * m.PS.Pairs.Count()
+	if len(window) != want {
+		return nil, fmt.Errorf("figret: window has %d entries, want %d", len(window), want)
+	}
+	x := make([]float64, len(window))
+	inv := 1 / m.Scale
+	for i, v := range window {
+		x[i] = v * inv
+	}
+	y := m.Net.Forward(x)
+	cfg := te.NewConfig(m.PS)
+	copy(cfg.R, y)
+	cfg.Normalize()
+	return cfg, nil
+}
+
+// PredictAt is a convenience wrapper: configuration for snapshot t of tr
+// from the window ending at t-1.
+func (m *Model) PredictAt(tr *traffic.Trace, t int) (*te.Config, error) {
+	return m.Predict(tr.Window(t, m.Cfg.H))
+}
+
+// normalizedWindow returns the scaled input vector for snapshot t.
+func (m *Model) normalizedWindow(tr *traffic.Trace, t int) []float64 {
+	w := tr.Window(t, m.Cfg.H)
+	inv := 1 / m.Scale
+	for i := range w {
+		w[i] *= inv
+	}
+	return w
+}
+
+// lossScratch holds reusable buffers for loss evaluation.
+type lossScratch struct {
+	flows []float64
+	util  []float64
+	w     []float64
+	gr    []float64
+}
+
+func newLossScratch(ps *te.PathSet) *lossScratch {
+	return &lossScratch{
+		flows: make([]float64, ps.G.NumEdges()),
+		util:  make([]float64, ps.G.NumEdges()),
+		w:     make([]float64, ps.G.NumEdges()),
+		gr:    make([]float64, ps.NumPaths()),
+	}
+}
+
+// lossAndGrad evaluates L = L1 + γ·L2 at split ratios r against the revealed
+// demand d, returning (total loss, hard-max MLU, dL/dr).
+//
+// L1 uses the log-sum-exp smooth max for a dense gradient; the reported MLU
+// is the exact hard max. L2 = Σ_sd σ̂²_sd · max_{p∈sd} r_p/Ĉ_p with the
+// subgradient routed through each pair's arg-max path; Ĉ_p is the path
+// capacity normalized by the topology's minimum edge capacity.
+func (m *Model) lossAndGrad(r, d []float64, s *lossScratch) (loss, mlu float64, gr []float64) {
+	ps := m.PS
+	ps.EdgeFlows(d, r, s.flows)
+	maxU := 0.0
+	for e := range s.flows {
+		s.util[e] = s.flows[e] / ps.G.Edge(e).Capacity
+		if s.util[e] > maxU {
+			maxU = s.util[e]
+		}
+	}
+	for p := range s.gr {
+		s.gr[p] = 0
+	}
+	mlu = maxU
+	loss = maxU
+	if maxU > 0 {
+		beta := m.Cfg.BetaRel / maxU
+		var sumW float64
+		for e := range s.util {
+			s.w[e] = math.Exp(beta * (s.util[e] - maxU))
+			sumW += s.w[e]
+		}
+		inv := 1 / sumW
+		for e := range s.w {
+			s.w[e] *= inv
+		}
+		for p, eids := range ps.EdgeIDs {
+			dp := d[ps.PairOf[p]]
+			if dp == 0 {
+				continue
+			}
+			var g float64
+			for _, e := range eids {
+				g += s.w[e] * dp / ps.G.Edge(e).Capacity
+			}
+			s.gr[p] = g
+		}
+	}
+	if m.Cfg.Gamma > 0 {
+		gamma := m.Cfg.Gamma * m.LossScale
+		minCap := ps.G.MinCapacity()
+		if minCap <= 0 {
+			minCap = 1
+		}
+		// The Eq. 8 sum is averaged over pairs so that γ's scale is
+		// topology-independent: the raw sum grows with |V|², which would
+		// drown the MLU term on large fabrics for any fixed γ.
+		invK := 1 / float64(ps.Pairs.Count())
+		var l2 float64
+		for pi, pp := range ps.PairPaths {
+			wv := m.VarWeights[pi]
+			if wv == 0 {
+				continue
+			}
+			bestP, bestS := -1, -1.0
+			for _, p := range pp {
+				if sp := r[p] * minCap / ps.Cap[p]; sp > bestS {
+					bestS, bestP = sp, p
+				}
+			}
+			if bestP >= 0 {
+				l2 += wv * bestS * invK
+				s.gr[bestP] += gamma * wv * invK * minCap / ps.Cap[bestP]
+			}
+		}
+		loss += gamma * l2
+	}
+	if m.Cfg.LatencyWeight > 0 {
+		lw := m.Cfg.LatencyWeight * m.LossScale
+		var total float64
+		for _, v := range d {
+			total += v
+		}
+		if total > 0 {
+			var l3 float64
+			inv := 1 / total
+			for p, st := range m.stretch {
+				if st == 0 {
+					continue
+				}
+				share := d[ps.PairOf[p]] * inv
+				if share == 0 {
+					continue
+				}
+				l3 += r[p] * st * share
+				s.gr[p] += lw * st * share
+			}
+			loss += lw * l3
+		}
+	}
+	return loss, mlu, s.gr
+}
+
+// normalizePerPair converts raw sigmoid outputs y to feasible ratios r and
+// returns a closure mapping dL/dr back to dL/dy through the normalization
+// r_p = y_p / Σ_{q∈pair} y_q. Pairs whose outputs sum to ~0 fall back to a
+// uniform split with zero gradient.
+func normalizePerPair(ps *te.PathSet, y []float64) (r []float64, backward func(gr []float64) []float64) {
+	P := ps.NumPaths()
+	r = make([]float64, P)
+	sums := make([]float64, ps.Pairs.Count())
+	for pi, pp := range ps.PairPaths {
+		var s float64
+		for _, p := range pp {
+			s += y[p]
+		}
+		sums[pi] = s
+		if s < 1e-12 {
+			w := 1 / float64(len(pp))
+			for _, p := range pp {
+				r[p] = w
+			}
+			continue
+		}
+		inv := 1 / s
+		for _, p := range pp {
+			r[p] = y[p] * inv
+		}
+	}
+	backward = func(gr []float64) []float64 {
+		dy := make([]float64, P)
+		for pi, pp := range ps.PairPaths {
+			s := sums[pi]
+			if s < 1e-12 {
+				continue // degenerate pair: no gradient
+			}
+			var mean float64
+			for _, p := range pp {
+				mean += r[p] * gr[p]
+			}
+			inv := 1 / s
+			for _, p := range pp {
+				dy[p] = inv * (gr[p] - mean)
+			}
+		}
+		return dy
+	}
+	return r, backward
+}
+
+func meanDemand(tr *traffic.Trace) float64 {
+	var sum float64
+	var n int
+	for _, s := range tr.Snapshots {
+		for _, v := range s {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// typicalMLU estimates the trace's MLU magnitude: the uniform-split MLU
+// averaged over up to 32 evenly spaced snapshots. Used to scale the L2 loss
+// term so Gamma is independent of demand units.
+func typicalMLU(ps *te.PathSet, tr *traffic.Trace) float64 {
+	cfg := te.UniformConfig(ps)
+	step := tr.Len() / 32
+	if step == 0 {
+		step = 1
+	}
+	var sum float64
+	var n int
+	for t := 0; t < tr.Len(); t += step {
+		m, _ := ps.MLU(tr.At(t), cfg.R)
+		sum += m
+		n++
+	}
+	if n == 0 || sum == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// modelJSON is the serialization schema for Save/Load.
+type modelJSON struct {
+	Cfg        Config    `json:"cfg"`
+	Net        *nn.MLP   `json:"net"`
+	VarWeights []float64 `json:"var_weights"`
+	Scale      float64   `json:"scale"`
+	LossScale  float64   `json:"loss_scale"`
+}
+
+// MarshalJSON serializes hyperparameters, weights and normalization state.
+// The path set is not serialized; Load requires the same topology.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelJSON{Cfg: m.Cfg, Net: m.Net, VarWeights: m.VarWeights, Scale: m.Scale, LossScale: m.LossScale})
+}
+
+// LoadModel restores a model serialized by MarshalJSON onto ps.
+func LoadModel(ps *te.PathSet, data []byte) (*Model, error) {
+	var j modelJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, err
+	}
+	if j.Net == nil || len(j.VarWeights) != ps.Pairs.Count() {
+		return nil, fmt.Errorf("figret: serialized model does not match topology")
+	}
+	out := j.Net.Layers[len(j.Net.Layers)-1].Out
+	if out != ps.NumPaths() {
+		return nil, fmt.Errorf("figret: model outputs %d paths, topology has %d", out, ps.NumPaths())
+	}
+	if j.LossScale == 0 {
+		j.LossScale = 1
+	}
+	return &Model{PS: ps, Cfg: j.Cfg, Net: j.Net, VarWeights: j.VarWeights, Scale: j.Scale, LossScale: j.LossScale, stretch: pathStretch(ps)}, nil
+}

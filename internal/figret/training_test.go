@@ -1,0 +1,117 @@
+package figret
+
+import (
+	"math"
+	"testing"
+
+	"figret/internal/graph"
+	"figret/internal/te"
+	"figret/internal/traffic"
+)
+
+func trainSetup(t *testing.T) (*te.PathSet, *traffic.Trace) {
+	t.Helper()
+	ps, err := te.NewPathSet(graph.FullMesh(4, 10), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traffic.DC(traffic.PoDDB, 4, 100, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps, tr
+}
+
+func TestBatchSizeDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.BatchSize != 1 || c.LRDecay != 1 {
+		t.Errorf("defaults: batch=%d decay=%v", c.BatchSize, c.LRDecay)
+	}
+}
+
+func TestMinibatchTrainingConverges(t *testing.T) {
+	ps, tr := trainSetup(t)
+	m := New(ps, Config{H: 4, Epochs: 6, Seed: 3, BatchSize: 8})
+	stats, err := m.Train(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := stats.EpochMLU[0], stats.EpochMLU[len(stats.EpochMLU)-1]
+	if last >= first {
+		t.Errorf("minibatch training did not improve: %v -> %v", first, last)
+	}
+}
+
+func TestMinibatchDiffersFromPerSample(t *testing.T) {
+	ps, tr := trainSetup(t)
+	a := New(ps, Config{H: 4, Epochs: 2, Seed: 3, BatchSize: 1})
+	b := New(ps, Config{H: 4, Epochs: 2, Seed: 3, BatchSize: 16})
+	sa, err := a.Train(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Train(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.EpochLoss[1] == sb.EpochLoss[1] {
+		t.Error("batch size had no effect on training trajectory")
+	}
+}
+
+func TestCoarseGrainedUniformWeights(t *testing.T) {
+	ps, tr := trainSetup(t)
+	m := New(ps, Config{H: 4, Epochs: 1, Seed: 5, Gamma: 1, CoarseGrained: true})
+	if _, err := m.Train(tr); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range m.VarWeights {
+		if w != 1 {
+			t.Fatalf("coarse-grained weight[%d] = %v, want 1", i, w)
+		}
+	}
+	fine := New(ps, Config{H: 4, Epochs: 1, Seed: 5, Gamma: 1})
+	if _, err := fine.Train(tr); err != nil {
+		t.Fatal(err)
+	}
+	uniform := true
+	for _, w := range fine.VarWeights {
+		if w != 1 {
+			uniform = false
+		}
+	}
+	if uniform {
+		t.Error("fine-grained weights unexpectedly uniform")
+	}
+}
+
+func TestLRDecayApplied(t *testing.T) {
+	// With aggressive decay the later epochs barely move the weights, so
+	// the loss trajectory must differ from constant-rate training.
+	ps, tr := trainSetup(t)
+	a := New(ps, Config{H: 4, Epochs: 5, Seed: 4})
+	b := New(ps, Config{H: 4, Epochs: 5, Seed: 4, LRDecay: 0.3})
+	sa, err := a.Train(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Train(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range sa.EpochLoss {
+		if sa.EpochLoss[i] != sb.EpochLoss[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("LR decay had no effect")
+	}
+	// Both still converge to finite losses.
+	for _, v := range sb.EpochLoss {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("decayed training diverged")
+		}
+	}
+}

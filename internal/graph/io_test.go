@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	g := GEANT()
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: %v vs %v", &back, g)
+	}
+	ea, eb := g.SortedEdgeList(), back.SortedEdgeList()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d changed: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+	// Adjacency index rebuilt correctly.
+	if _, ok := back.EdgeID(0, 1); !ok {
+		t.Error("edge index lost in round trip")
+	}
+}
+
+func TestGraphJSONValidation(t *testing.T) {
+	var g Graph
+	bad := []string{
+		`{"n":-1,"edges":[]}`,
+		`{"n":2,"edges":[{"From":0,"To":0,"Capacity":1}]}`,
+		`{"n":2,"edges":[{"From":0,"To":1,"Capacity":-1}]}`,
+		`{"n":2,"edges":[{"From":0,"To":5,"Capacity":1}]}`,
+		`{nope`,
+	}
+	for _, s := range bad {
+		if err := json.Unmarshal([]byte(s), &g); err == nil {
+			t.Errorf("accepted %s", s)
+		}
+	}
+}
+
+const sampleGraphML = `<?xml version="1.0" encoding="utf-8"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key attr.name="label" attr.type="string" for="node" id="d0"/>
+  <key attr.name="LinkSpeedRaw" attr.type="double" for="edge" id="d1"/>
+  <key attr.name="Capacity" attr.type="double" for="edge" id="d2"/>
+  <graph edgedefault="undirected">
+    <node id="n0"><data key="d0">Amsterdam</data></node>
+    <node id="n1"><data key="d0">Brussels</data></node>
+    <node id="n2"><data key="d0">Cologne</data></node>
+    <edge source="n0" target="n1"><data key="d2">40</data></edge>
+    <edge source="n1" target="n2"><data key="d2">10</data></edge>
+    <edge source="n2" target="n0"/>
+    <edge source="n2" target="n2"/>
+  </graph>
+</graphml>`
+
+func TestReadGraphML(t *testing.T) {
+	g, err := ReadGraphML(strings.NewReader(sampleGraphML), GraphMLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("nodes = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 6 { // 3 undirected links, self-loop dropped
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	id, ok := g.EdgeID(0, 1)
+	if !ok || g.Edge(id).Capacity != 40 {
+		t.Errorf("capacity(0,1) wrong: %v", g.Edge(id))
+	}
+	id, _ = g.EdgeID(1, 2)
+	if g.Edge(id).Capacity != 10 {
+		t.Errorf("capacity(1,2) = %v", g.Edge(id).Capacity)
+	}
+	// Edge without capacity data gets the default.
+	id, _ = g.EdgeID(0, 2)
+	if g.Edge(id).Capacity != 10 {
+		t.Errorf("default capacity = %v", g.Edge(id).Capacity)
+	}
+	if !g.Connected() {
+		t.Error("imported graph disconnected")
+	}
+}
+
+func TestReadGraphMLDuplicateLinksMerged(t *testing.T) {
+	src := `<graphml><graph edgedefault="undirected">
+	<node id="a"/><node id="b"/>
+	<edge source="a" target="b"/>
+	<edge source="b" target="a"/>
+	</graph></graphml>`
+	g, err := ReadGraphML(strings.NewReader(src), GraphMLOptions{DefaultCapacity: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want merged pair", g.NumEdges())
+	}
+	id, _ := g.EdgeID(0, 1)
+	if g.Edge(id).Capacity != 10 {
+		t.Errorf("merged capacity = %v, want 10", g.Edge(id).Capacity)
+	}
+}
+
+func TestReadGraphMLErrors(t *testing.T) {
+	cases := []string{
+		`not xml at all<`,
+		`<graphml><graph edgedefault="undirected"></graph></graphml>`,
+		`<graphml><graph edgedefault="undirected"><node id="a"/><node id="a"/></graph></graphml>`,
+		`<graphml><graph edgedefault="undirected"><node id="a"/><edge source="a" target="zz"/></graph></graphml>`,
+		`<graphml><graph edgedefault="undirected"><node id="a"/><node id="b"/></graph></graphml>`,
+	}
+	for i, s := range cases {
+		if _, err := ReadGraphML(strings.NewReader(s), GraphMLOptions{}); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadGraphMLDirected(t *testing.T) {
+	src := `<graphml><graph edgedefault="directed">
+	<node id="a"/><node id="b"/>
+	<edge source="a" target="b"/>
+	</graph></graphml>`
+	g, err := ReadGraphML(strings.NewReader(src), GraphMLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("directed edges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestReadGraphMLCustomAttr(t *testing.T) {
+	src := `<graphml>
+	<key attr.name="bw" for="edge" id="k9"/>
+	<graph edgedefault="undirected">
+	<node id="a"/><node id="b"/>
+	<edge source="a" target="b"><data key="k9"> 77 </data></edge>
+	</graph></graphml>`
+	g, err := ReadGraphML(strings.NewReader(src), GraphMLOptions{CapacityAttr: "bw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := g.EdgeID(0, 1)
+	if g.Edge(id).Capacity != 77 {
+		t.Errorf("custom attr capacity = %v", g.Edge(id).Capacity)
+	}
+}

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"sort"
+)
+
+// KShortestPaths computes up to k loopless shortest paths from src to dst
+// under weight w using Yen's algorithm, as used by the paper for candidate
+// path precomputation ("we employ Yen's algorithm to precompute the three
+// shortest paths between every pair of nodes").
+//
+// Paths are returned sorted by total weight (ties broken by the vertex
+// sequence for determinism). Fewer than k paths are returned when the graph
+// does not contain k distinct simple paths.
+func (g *Graph) KShortestPaths(src, dst, k int, w EdgeWeight) []Path {
+	if k <= 0 || src == dst {
+		return nil
+	}
+	first, _, ok := g.ShortestPath(src, dst, w, nil, nil)
+	if !ok {
+		return nil
+	}
+	accepted := []Path{first}
+	type cand struct {
+		p    Path
+		cost float64
+	}
+	var candidates []cand
+
+	pathCost := func(p Path) float64 {
+		var c float64
+		for i := 0; i+1 < len(p); i++ {
+			id, _ := g.EdgeID(p[i], p[i+1])
+			c += w(g.edges[id])
+		}
+		return c
+	}
+
+	haveCand := func(p Path) bool {
+		for _, c := range candidates {
+			if c.p.Equal(p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	banEdge := make([]bool, len(g.edges))
+	banVertex := make([]bool, g.n)
+
+	for len(accepted) < k {
+		prevPath := accepted[len(accepted)-1]
+		// For each spur node in the previous accepted path.
+		for i := 0; i+1 < len(prevPath); i++ {
+			spur := prevPath[i]
+			root := prevPath[:i+1]
+
+			for j := range banEdge {
+				banEdge[j] = false
+			}
+			for j := range banVertex {
+				banVertex[j] = false
+			}
+			// Ban edges that would recreate an already-accepted path sharing
+			// this root.
+			for _, ap := range accepted {
+				if len(ap) > i && Path(ap[:i+1]).Equal(Path(root)) {
+					if id, ok := g.EdgeID(ap[i], ap[i+1]); ok {
+						banEdge[id] = true
+					}
+				}
+			}
+			// Ban root vertices except the spur node to keep paths simple.
+			for _, v := range root[:len(root)-1] {
+				banVertex[v] = true
+			}
+
+			spurPath, _, ok := g.ShortestPath(spur, dst, w, banVertex, banEdge)
+			if !ok {
+				continue
+			}
+			total := append(Path(nil), root[:len(root)-1]...)
+			total = append(total, spurPath...)
+			if !haveCand(total) {
+				candidates = append(candidates, cand{p: total, cost: pathCost(total)})
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if candidates[a].cost != candidates[b].cost {
+				return candidates[a].cost < candidates[b].cost
+			}
+			return lessPath(candidates[a].p, candidates[b].p)
+		})
+		best := candidates[0]
+		candidates = candidates[1:]
+		dup := false
+		for _, ap := range accepted {
+			if ap.Equal(best.p) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			accepted = append(accepted, best.p)
+		}
+	}
+	sort.SliceStable(accepted, func(a, b int) bool {
+		ca, cb := pathCost(accepted[a]), pathCost(accepted[b])
+		if ca != cb {
+			return ca < cb
+		}
+		return lessPath(accepted[a], accepted[b])
+	})
+	return accepted
+}
+
+func lessPath(a, b Path) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// IsSimple reports whether p visits no vertex twice.
+func (p Path) IsSimple() bool {
+	seen := make(map[int]bool, len(p))
+	for _, v := range p {
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

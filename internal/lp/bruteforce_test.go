@@ -1,0 +1,128 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSimplexOptimalityAgainstSampling generates random feasible LPs and
+// verifies that (a) the simplex solution satisfies every constraint, and
+// (b) no randomly sampled feasible point achieves a better objective.
+func TestSimplexOptimalityAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		nv := 2 + rng.Intn(3)
+		nc := 2 + rng.Intn(3)
+		p := &Problem{C: make([]float64, nv)}
+		for i := range p.C {
+			p.C[i] = rng.NormFloat64()
+		}
+		// Constraints a·x <= b with a >= 0 and b > 0: box-like, always
+		// feasible (x = 0) and bounded in the positive orthant... boundedness
+		// of the LP requires c >= 0 or bounded polytope; add an explicit
+		// simplex bound Σx <= B to guarantee it.
+		for i := 0; i < nc; i++ {
+			row := make([]float64, nv)
+			for j := range row {
+				row[j] = rng.Float64()
+			}
+			p.A = append(p.A, row)
+			p.B = append(p.B, 1+rng.Float64()*3)
+			p.S = append(p.S, LE)
+		}
+		bound := make([]float64, nv)
+		for j := range bound {
+			bound[j] = 1
+		}
+		p.A = append(p.A, bound)
+		p.B = append(p.B, 5)
+		p.S = append(p.S, LE)
+
+		x, obj, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		feasible := func(x []float64) bool {
+			for i, row := range p.A {
+				dot := 0.0
+				for j := range row {
+					dot += row[j] * x[j]
+				}
+				if dot > p.B[i]+1e-7 {
+					return false
+				}
+			}
+			for _, v := range x {
+				if v < -1e-9 {
+					return false
+				}
+			}
+			return true
+		}
+		if !feasible(x) {
+			t.Fatalf("trial %d: simplex point infeasible: %v", trial, x)
+		}
+		// Sample candidate points: random scaled corners and interior picks.
+		for s := 0; s < 4000; s++ {
+			cand := make([]float64, nv)
+			for j := range cand {
+				cand[j] = rng.Float64() * 5
+			}
+			if !feasible(cand) {
+				continue
+			}
+			co := 0.0
+			for j := range cand {
+				co += p.C[j] * cand[j]
+			}
+			if co < obj-1e-6 {
+				t.Fatalf("trial %d: sampled point %v beats simplex: %v < %v", trial, cand, co, obj)
+			}
+		}
+	}
+}
+
+// TestSimplexEqualityFeasibility solves LPs with equality rows and verifies
+// the equalities hold exactly.
+func TestSimplexEqualityFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 10; trial++ {
+		nv := 3 + rng.Intn(3)
+		p := &Problem{C: make([]float64, nv)}
+		for i := range p.C {
+			p.C[i] = rng.Float64()
+		}
+		// One normalization equality Σx = 1 plus random LE rows.
+		eq := make([]float64, nv)
+		for j := range eq {
+			eq[j] = 1
+		}
+		p.A = append(p.A, eq)
+		p.B = append(p.B, 1)
+		p.S = append(p.S, EQ)
+		for i := 0; i < 2; i++ {
+			row := make([]float64, nv)
+			for j := range row {
+				row[j] = rng.Float64()
+			}
+			p.A = append(p.A, row)
+			p.B = append(p.B, 0.5+rng.Float64())
+			p.S = append(p.S, LE)
+		}
+		x, _, err := Solve(p)
+		if err == ErrInfeasible {
+			continue // legitimately infeasible draw
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sum := 0.0
+		for _, v := range x {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-7 {
+			t.Fatalf("trial %d: equality violated, sum=%v", trial, sum)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package netsim
+
+import (
+	"fmt"
+
+	"figret/internal/te"
+)
+
+// ControlLoop models the TE control plane of §1: a centralized controller
+// periodically computes a configuration from historical demands, but —
+// because of collection, computation and rule-installation latency — the
+// configuration only takes effect Delay intervals later. Until then the
+// network keeps forwarding with the previously installed configuration.
+//
+// Running the loop over a demand sequence with the fluid simulator exposes
+// exactly the failure mode the paper opens with: the longer the delay, the
+// staler the installed configuration when a burst arrives.
+type ControlLoop struct {
+	// Advise produces the configuration the controller would install based
+	// on everything up to (and including) snapshot t-1.
+	Advise func(t int) (*te.Config, error)
+	// Delay is the number of intervals between computing a configuration
+	// and it taking effect (>= 0; 0 means same-interval installation).
+	Delay int
+	// Initial is the configuration installed before the first controller
+	// output lands.
+	Initial *te.Config
+}
+
+// LoopResult aggregates a control-loop run.
+type LoopResult struct {
+	// PerInterval holds the fluid-simulation result of every interval.
+	PerInterval []*Result
+	// MeanMLU and PeakMLU summarize the offered-load MLU series.
+	MeanMLU, PeakMLU float64
+	// MeanLoss is the average loss rate.
+	MeanLoss float64
+}
+
+// Run executes the loop over demands[from:to) (indices into the demand
+// accessor) and simulates each interval with whatever configuration is
+// installed at that time.
+func (cl *ControlLoop) Run(demand func(t int) []float64, from, to int) (*LoopResult, error) {
+	if cl.Advise == nil || cl.Initial == nil {
+		return nil, fmt.Errorf("netsim: control loop needs Advise and Initial")
+	}
+	if cl.Delay < 0 {
+		return nil, fmt.Errorf("netsim: negative delay %d", cl.Delay)
+	}
+	if from >= to {
+		return nil, fmt.Errorf("netsim: empty interval range [%d,%d)", from, to)
+	}
+	// pending[i] is the configuration computed at interval from+i, which
+	// becomes active at interval from+i+Delay.
+	installed := cl.Initial
+	pending := make([]*te.Config, 0, cl.Delay+1)
+	res := &LoopResult{}
+	for t := from; t < to; t++ {
+		// Controller output for this interval (computed from history).
+		cfg, err := cl.Advise(t)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: advise at t=%d: %w", t, err)
+		}
+		pending = append(pending, cfg)
+		if len(pending) > cl.Delay {
+			installed = pending[0]
+			pending = pending[1:]
+		}
+		sim, err := Simulate(installed, demand(t))
+		if err != nil {
+			return nil, err
+		}
+		res.PerInterval = append(res.PerInterval, sim)
+	}
+	var mluSum, lossSum float64
+	for _, r := range res.PerInterval {
+		mluSum += r.MLU
+		lossSum += r.LossRate
+		if r.MLU > res.PeakMLU {
+			res.PeakMLU = r.MLU
+		}
+	}
+	n := float64(len(res.PerInterval))
+	res.MeanMLU = mluSum / n
+	res.MeanLoss = lossSum / n
+	return res, nil
+}

@@ -1,0 +1,114 @@
+package netsim
+
+import (
+	"testing"
+
+	"figret/internal/graph"
+	"figret/internal/lp"
+	"figret/internal/te"
+	"figret/internal/traffic"
+)
+
+func loopSetup(t *testing.T) (*te.PathSet, *traffic.Trace) {
+	t.Helper()
+	ps, err := te.NewPathSet(graph.PoDDB(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traffic.DC(traffic.PoDDB, 4, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scale so the mean uniform MLU is near 1 (losses become visible).
+	mean := tr.Means()
+	u := te.UniformConfig(ps)
+	m, _ := ps.MLU(mean, u.R)
+	tr.Scale(1.0 / m)
+	return ps, tr
+}
+
+func TestControlLoopValidation(t *testing.T) {
+	ps, tr := loopSetup(t)
+	cl := &ControlLoop{}
+	if _, err := cl.Run(tr.At, 0, 5); err == nil {
+		t.Error("missing Advise/Initial accepted")
+	}
+	cl = &ControlLoop{
+		Advise:  func(t int) (*te.Config, error) { return te.UniformConfig(ps), nil },
+		Initial: te.UniformConfig(ps),
+		Delay:   -1,
+	}
+	if _, err := cl.Run(tr.At, 0, 5); err == nil {
+		t.Error("negative delay accepted")
+	}
+	cl.Delay = 0
+	if _, err := cl.Run(tr.At, 5, 5); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestControlLoopStaticEqualsDirect(t *testing.T) {
+	// With a constant advisor, delay must not matter.
+	ps, tr := loopSetup(t)
+	uni := te.UniformConfig(ps)
+	mk := func(delay int) *ControlLoop {
+		return &ControlLoop{
+			Advise:  func(int) (*te.Config, error) { return uni, nil },
+			Initial: uni,
+			Delay:   delay,
+		}
+	}
+	a, err := mk(0).Run(tr.At, 10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk(3).Run(tr.At, 10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanMLU != b.MeanMLU || a.MeanLoss != b.MeanLoss {
+		t.Errorf("delay changed static results: %v vs %v", a.MeanMLU, b.MeanMLU)
+	}
+}
+
+func TestControlLoopDelayHurts(t *testing.T) {
+	// An adaptive advisor (LP on the previous demand) must degrade as the
+	// installation delay grows: stale configurations meet newer traffic.
+	ps, tr := loopSetup(t)
+	advise := func(t int) (*te.Config, error) {
+		cfg, _, err := lp.MLUMin(ps, tr.At(t-1))
+		return cfg, err
+	}
+	run := func(delay int) float64 {
+		cl := &ControlLoop{Advise: advise, Initial: te.UniformConfig(ps), Delay: delay}
+		res, err := cl.Run(tr.At, 12, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanMLU
+	}
+	fresh := run(0)
+	stale := run(8)
+	if stale < fresh {
+		t.Errorf("8-interval delay improved MLU: fresh %v, stale %v", fresh, stale)
+	}
+}
+
+func TestControlLoopPerIntervalCount(t *testing.T) {
+	ps, tr := loopSetup(t)
+	cl := &ControlLoop{
+		Advise:  func(int) (*te.Config, error) { return te.UniformConfig(ps), nil },
+		Initial: te.UniformConfig(ps),
+		Delay:   2,
+	}
+	res, err := cl.Run(tr.At, 5, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerInterval) != 20 {
+		t.Errorf("intervals = %d, want 20", len(res.PerInterval))
+	}
+	if res.PeakMLU < res.MeanMLU {
+		t.Error("peak below mean")
+	}
+}

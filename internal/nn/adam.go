@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Adam implements the Adam optimizer (Kingma & Ba 2014), the optimizer
+// FIGRET trains with (Appendix D.4).
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t int
+	m map[*float64][]float64 // first-moment buffers keyed by tensor head
+	v map[*float64][]float64 // second-moment buffers
+}
+
+// NewAdam returns an Adam optimizer with the standard defaults
+// (β1=0.9, β2=0.999, ε=1e-8) and the given learning rate.
+func NewAdam(lr float64) *Adam {
+	if lr <= 0 {
+		panic(fmt.Sprintf("nn: learning rate %v must be positive", lr))
+	}
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8,
+		m: make(map[*float64][]float64),
+		v: make(map[*float64][]float64),
+	}
+}
+
+// Step applies one Adam update to every parameter tensor of net using the
+// gradients accumulated since the last ZeroGrads, then clears them.
+func (a *Adam) Step(net *MLP) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	net.VisitParams(func(params, grads []float64) {
+		key := &params[0]
+		mBuf, ok := a.m[key]
+		if !ok {
+			mBuf = make([]float64, len(params))
+			a.m[key] = mBuf
+			a.v[key] = make([]float64, len(params))
+		}
+		vBuf := a.v[key]
+		for i := range params {
+			g := grads[i]
+			mBuf[i] = a.Beta1*mBuf[i] + (1-a.Beta1)*g
+			vBuf[i] = a.Beta2*vBuf[i] + (1-a.Beta2)*g*g
+			mh := mBuf[i] / c1
+			vh := vBuf[i] / c2
+			params[i] -= a.LR * mh / (math.Sqrt(vh) + a.Epsilon)
+		}
+	})
+	net.ZeroGrads()
+}
+
+// SGD is a plain stochastic-gradient-descent optimizer, provided as a
+// baseline for the optimizer ablation.
+type SGD struct {
+	LR float64
+}
+
+// Step applies one SGD update and clears gradients.
+func (s SGD) Step(net *MLP) {
+	net.VisitParams(func(params, grads []float64) {
+		for i := range params {
+			params[i] -= s.LR * grads[i]
+		}
+	})
+	net.ZeroGrads()
+}

@@ -1,0 +1,377 @@
+// Package nn is a small, dependency-free neural-network library sufficient
+// to reproduce the FIGRET/DOTE models: fully connected layers with manual
+// backpropagation, ReLU/Sigmoid activations, He/Xavier initialization, and
+// the Adam optimizer. It substitutes for PyTorch in the original artifact
+// (see DESIGN.md §2); everything is float64 and deterministic given a seed.
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Activation selects the nonlinearity applied after a Dense layer.
+type Activation int
+
+const (
+	// Identity applies no nonlinearity.
+	Identity Activation = iota
+	// ReLU applies max(0, x).
+	ReLU
+	// Sigmoid applies 1/(1+e^-x).
+	Sigmoid
+)
+
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("activation(%d)", int(a))
+	}
+}
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	default:
+		return x
+	}
+}
+
+// derivFromOutput returns dσ/dx expressed through the activation output y.
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return y * (1 - y)
+	default:
+		return 1
+	}
+}
+
+// Dense is a fully connected layer y = act(Wx + b) with weight matrix W of
+// shape [Out][In] stored row-major.
+type Dense struct {
+	In, Out int
+	Act     Activation
+	W       []float64 // len Out*In
+	B       []float64 // len Out
+
+	// Gradients accumulated by Backward.
+	GW []float64
+	GB []float64
+
+	// Cached forward state for backprop (single-sample).
+	x []float64 // input
+	y []float64 // post-activation output
+}
+
+// NewDense returns a Dense layer initialized with He initialization (scaled
+// for ReLU) or Xavier for other activations, using rng for determinism.
+func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid layer shape %dx%d", in, out))
+	}
+	d := &Dense{
+		In: in, Out: out, Act: act,
+		W:  make([]float64, out*in),
+		B:  make([]float64, out),
+		GW: make([]float64, out*in),
+		GB: make([]float64, out),
+	}
+	var scale float64
+	if act == ReLU {
+		scale = math.Sqrt(2 / float64(in)) // He
+	} else {
+		scale = math.Sqrt(1 / float64(in)) // Xavier-ish
+	}
+	for i := range d.W {
+		d.W[i] = rng.NormFloat64() * scale
+	}
+	return d
+}
+
+// parallelThreshold is the work size above which Forward/Backward shard
+// across goroutines. Chosen so small nets stay single-threaded.
+const parallelThreshold = 1 << 16
+
+// Forward computes the layer output for x, caching state for Backward.
+// The returned slice is owned by the layer and valid until the next call.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), d.In))
+	}
+	d.x = x
+	if d.y == nil {
+		d.y = make([]float64, d.Out)
+	}
+	work := d.In * d.Out
+	if work < parallelThreshold {
+		for o := 0; o < d.Out; o++ {
+			d.y[o] = d.Act.apply(dot(d.W[o*d.In:(o+1)*d.In], x) + d.B[o])
+		}
+		return d.y
+	}
+	parallelFor(d.Out, func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			d.y[o] = d.Act.apply(dot(d.W[o*d.In:(o+1)*d.In], x) + d.B[o])
+		}
+	})
+	return d.y
+}
+
+// Backward takes dL/dy (post-activation) and accumulates dL/dW, dL/dB into
+// GW, GB; it returns dL/dx. The returned slice is owned by the layer.
+func (d *Dense) Backward(dy []float64) []float64 {
+	if len(dy) != d.Out {
+		panic(fmt.Sprintf("nn: grad size %d, want %d", len(dy), d.Out))
+	}
+	dx := make([]float64, d.In)
+	if d.In*d.Out < parallelThreshold {
+		for o := 0; o < d.Out; o++ {
+			g := dy[o] * d.Act.derivFromOutput(d.y[o])
+			if g == 0 {
+				continue
+			}
+			d.GB[o] += g
+			row := d.W[o*d.In : (o+1)*d.In]
+			grow := d.GW[o*d.In : (o+1)*d.In]
+			for i, xi := range d.x {
+				grow[i] += g * xi
+				dx[i] += g * row[i]
+			}
+		}
+		return dx
+	}
+	// Parallel: shard over output rows, with per-shard dx accumulators
+	// merged afterwards to avoid write contention.
+	nsh := runtime.GOMAXPROCS(0)
+	partial := make([][]float64, nsh)
+	var wg sync.WaitGroup
+	chunk := (d.Out + nsh - 1) / nsh
+	for s := 0; s < nsh; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > d.Out {
+			hi = d.Out
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			local := make([]float64, d.In)
+			for o := lo; o < hi; o++ {
+				g := dy[o] * d.Act.derivFromOutput(d.y[o])
+				if g == 0 {
+					continue
+				}
+				d.GB[o] += g
+				row := d.W[o*d.In : (o+1)*d.In]
+				grow := d.GW[o*d.In : (o+1)*d.In]
+				for i, xi := range d.x {
+					grow[i] += g * xi
+					local[i] += g * row[i]
+				}
+			}
+			partial[s] = local
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	for _, local := range partial {
+		if local == nil {
+			continue
+		}
+		for i, v := range local {
+			dx[i] += v
+		}
+	}
+	return dx
+}
+
+// ZeroGrads clears accumulated gradients.
+func (d *Dense) ZeroGrads() {
+	for i := range d.GW {
+		d.GW[i] = 0
+	}
+	for i := range d.GB {
+		d.GB[i] = 0
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	n := len(a)
+	// 4-way unrolled.
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s += a[i]*b[i] + a[i+1]*b[i+1] + a[i+2]*b[i+2] + a[i+3]*b[i+3]
+	}
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func parallelFor(n int, f func(lo, hi int)) {
+	nsh := runtime.GOMAXPROCS(0)
+	if nsh > n {
+		nsh = n
+	}
+	chunk := (n + nsh - 1) / nsh
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MLP is a feed-forward stack of Dense layers.
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds an MLP with the given layer sizes (len >= 2): hidden layers
+// use hiddenAct, the output layer uses outAct. The paper's architecture is
+// sizes = [input, 128, 128, 128, 128, 128, output], hiddenAct = ReLU,
+// outAct = Sigmoid (Appendix D.4).
+func NewMLP(sizes []int, hiddenAct, outAct Activation, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		act := hiddenAct
+		if i == len(sizes)-2 {
+			act = outAct
+		}
+		m.Layers = append(m.Layers, NewDense(sizes[i], sizes[i+1], act, rng))
+	}
+	return m
+}
+
+// PaperMLP builds the exact FIGRET/DOTE architecture: five hidden layers of
+// 128 ReLU units and a Sigmoid output layer.
+func PaperMLP(in, out int, rng *rand.Rand) *MLP {
+	return NewMLP([]int{in, 128, 128, 128, 128, 128, out}, ReLU, Sigmoid, rng)
+}
+
+// Forward runs the network on a single input vector.
+func (m *MLP) Forward(x []float64) []float64 {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates dL/d(output) through the network, accumulating
+// parameter gradients; it returns dL/d(input).
+func (m *MLP) Backward(dOut []float64) []float64 {
+	g := dOut
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		g = m.Layers[i].Backward(g)
+	}
+	return g
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (m *MLP) ZeroGrads() {
+	for _, l := range m.Layers {
+		l.ZeroGrads()
+	}
+}
+
+// NumParams returns the total parameter count.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += len(l.W) + len(l.B)
+	}
+	return n
+}
+
+// VisitParams calls f once per (params, grads) tensor pair; used by
+// optimizers to avoid copying.
+func (m *MLP) VisitParams(f func(params, grads []float64)) {
+	for _, l := range m.Layers {
+		f(l.W, l.GW)
+		f(l.B, l.GB)
+	}
+}
+
+// mlpJSON is the serialization schema.
+type mlpJSON struct {
+	Sizes []int        `json:"sizes"`
+	Acts  []Activation `json:"acts"`
+	W     [][]float64  `json:"w"`
+	B     [][]float64  `json:"b"`
+}
+
+// MarshalJSON serializes architecture and weights.
+func (m *MLP) MarshalJSON() ([]byte, error) {
+	j := mlpJSON{}
+	for i, l := range m.Layers {
+		if i == 0 {
+			j.Sizes = append(j.Sizes, l.In)
+		}
+		j.Sizes = append(j.Sizes, l.Out)
+		j.Acts = append(j.Acts, l.Act)
+		j.W = append(j.W, l.W)
+		j.B = append(j.B, l.B)
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON restores architecture and weights.
+func (m *MLP) UnmarshalJSON(data []byte) error {
+	var j mlpJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if len(j.Sizes) < 2 || len(j.W) != len(j.Sizes)-1 || len(j.Acts) != len(j.W) || len(j.B) != len(j.W) {
+		return fmt.Errorf("nn: malformed MLP JSON")
+	}
+	m.Layers = nil
+	for i := 0; i+1 < len(j.Sizes); i++ {
+		in, out := j.Sizes[i], j.Sizes[i+1]
+		if len(j.W[i]) != in*out || len(j.B[i]) != out {
+			return fmt.Errorf("nn: layer %d weight shape mismatch", i)
+		}
+		d := &Dense{
+			In: in, Out: out, Act: j.Acts[i],
+			W: j.W[i], B: j.B[i],
+			GW: make([]float64, in*out),
+			GB: make([]float64, out),
+		}
+		m.Layers = append(m.Layers, d)
+	}
+	return nil
+}

@@ -1,0 +1,320 @@
+package nn
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestActivations(t *testing.T) {
+	if ReLU.apply(-3) != 0 || ReLU.apply(2) != 2 {
+		t.Error("ReLU wrong")
+	}
+	if s := Sigmoid.apply(0); math.Abs(s-0.5) > 1e-12 {
+		t.Errorf("Sigmoid(0) = %v", s)
+	}
+	if Identity.apply(7) != 7 {
+		t.Error("Identity wrong")
+	}
+	// Derivative-from-output identities.
+	if ReLU.derivFromOutput(0) != 0 || ReLU.derivFromOutput(5) != 1 {
+		t.Error("ReLU derivative wrong")
+	}
+	y := Sigmoid.apply(1.3)
+	if d := Sigmoid.derivFromOutput(y); math.Abs(d-y*(1-y)) > 1e-12 {
+		t.Errorf("Sigmoid derivative %v", d)
+	}
+}
+
+func TestDenseForwardExact(t *testing.T) {
+	d := &Dense{In: 2, Out: 1, Act: Identity,
+		W: []float64{2, 3}, B: []float64{1},
+		GW: make([]float64, 2), GB: make([]float64, 1)}
+	y := d.Forward([]float64{4, 5})
+	if y[0] != 2*4+3*5+1 {
+		t.Errorf("forward = %v", y[0])
+	}
+}
+
+// numericGrad estimates dL/dθ by central differences for loss L(net(x)).
+func numericGrad(net *MLP, x []float64, loss func([]float64) float64, param []float64, i int) float64 {
+	const h = 1e-6
+	orig := param[i]
+	param[i] = orig + h
+	lp := loss(net.Forward(x))
+	param[i] = orig - h
+	lm := loss(net.Forward(x))
+	param[i] = orig
+	return (lp - lm) / (2 * h)
+}
+
+func TestBackpropMatchesNumericGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewMLP([]int{3, 5, 4, 2}, ReLU, Sigmoid, rng)
+	x := []float64{0.3, -0.7, 1.1}
+	target := []float64{0.2, 0.9}
+	loss := func(y []float64) float64 {
+		s := 0.0
+		for i := range y {
+			d := y[i] - target[i]
+			s += 0.5 * d * d
+		}
+		return s
+	}
+	y := net.Forward(x)
+	dOut := make([]float64, len(y))
+	for i := range y {
+		dOut[i] = y[i] - target[i]
+	}
+	net.ZeroGrads()
+	net.Backward(dOut)
+
+	checked := 0
+	for li, l := range net.Layers {
+		for _, idx := range []int{0, len(l.W) / 2, len(l.W) - 1} {
+			want := numericGrad(net, x, loss, l.W, idx)
+			got := l.GW[idx]
+			if math.Abs(want-got) > 1e-5*(1+math.Abs(want)) {
+				t.Errorf("layer %d W[%d]: analytic %v numeric %v", li, idx, got, want)
+			}
+			checked++
+		}
+		want := numericGrad(net, x, loss, l.B, 0)
+		if got := l.GB[0]; math.Abs(want-got) > 1e-5*(1+math.Abs(want)) {
+			t.Errorf("layer %d B[0]: analytic %v numeric %v", li, got, want)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no gradients checked")
+	}
+}
+
+func TestBackwardInputGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewMLP([]int{4, 6, 3}, ReLU, Identity, rng)
+	x := []float64{0.1, 0.2, -0.3, 0.4}
+	sumLoss := func(y []float64) float64 {
+		s := 0.0
+		for _, v := range y {
+			s += v
+		}
+		return s
+	}
+	_ = net.Forward(x)
+	dOut := []float64{1, 1, 1}
+	dx := net.Backward(dOut)
+	const h = 1e-6
+	for i := range x {
+		xp := append([]float64(nil), x...)
+		xp[i] += h
+		xm := append([]float64(nil), x...)
+		xm[i] -= h
+		want := (sumLoss(net.Forward(xp)) - sumLoss(net.Forward(xm))) / (2 * h)
+		if math.Abs(dx[i]-want) > 1e-5*(1+math.Abs(want)) {
+			t.Errorf("dx[%d]: analytic %v numeric %v", i, dx[i], want)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// A layer big enough to trigger the parallel path must match a small
+	// equivalent computation.
+	rng := rand.New(rand.NewSource(3))
+	in, out := 400, 256 // 102400 > parallelThreshold
+	d := NewDense(in, out, Identity, rng)
+	x := make([]float64, in)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := append([]float64(nil), d.Forward(x)...)
+	for o := 0; o < out; o += 37 {
+		want := d.B[o]
+		for i := 0; i < in; i++ {
+			want += d.W[o*in+i] * x[i]
+		}
+		if math.Abs(y[o]-want) > 1e-9 {
+			t.Fatalf("parallel forward row %d: %v vs %v", o, y[o], want)
+		}
+	}
+	// Parallel backward gradient check on a few entries.
+	dy := make([]float64, out)
+	for i := range dy {
+		dy[i] = rng.NormFloat64()
+	}
+	d.ZeroGrads()
+	dx := d.Backward(dy)
+	for _, i := range []int{0, 100, in - 1} {
+		want := 0.0
+		for o := 0; o < out; o++ {
+			want += dy[o] * d.W[o*in+i]
+		}
+		if math.Abs(dx[i]-want) > 1e-9 {
+			t.Fatalf("parallel backward dx[%d]: %v vs %v", i, dx[i], want)
+		}
+	}
+}
+
+func TestAdamConvergesOnRegression(t *testing.T) {
+	// Fit y = sigmoid(2x1 - x2) with a small net; loss must fall sharply.
+	rng := rand.New(rand.NewSource(4))
+	net := NewMLP([]int{2, 16, 1}, ReLU, Sigmoid, rng)
+	opt := NewAdam(0.01)
+	sample := func() ([]float64, float64) {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		return x, 1 / (1 + math.Exp(-(2*x[0] - x[1])))
+	}
+	avgLoss := func() float64 {
+		s := 0.0
+		r2 := rand.New(rand.NewSource(99))
+		for i := 0; i < 200; i++ {
+			x := []float64{r2.NormFloat64(), r2.NormFloat64()}
+			want := 1 / (1 + math.Exp(-(2*x[0] - x[1])))
+			y := net.Forward(x)[0]
+			s += (y - want) * (y - want)
+		}
+		return s / 200
+	}
+	before := avgLoss()
+	for it := 0; it < 2000; it++ {
+		x, want := sample()
+		y := net.Forward(x)
+		net.Backward([]float64{y[0] - want})
+		opt.Step(net)
+	}
+	after := avgLoss()
+	if after > before/10 {
+		t.Errorf("Adam failed to converge: %v -> %v", before, after)
+	}
+	if after > 0.001 {
+		t.Errorf("final loss too high: %v", after)
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := NewMLP([]int{1, 1}, Identity, Identity, rng)
+	l := net.Layers[0]
+	l.W[0], l.B[0] = 1, 0
+	y := net.Forward([]float64{2})
+	_ = y
+	net.Backward([]float64{1}) // dL/dy = 1 -> dW = x = 2, dB = 1
+	SGD{LR: 0.1}.Step(net)
+	if math.Abs(l.W[0]-0.8) > 1e-12 || math.Abs(l.B[0]+0.1) > 1e-12 {
+		t.Errorf("SGD update: W=%v B=%v", l.W[0], l.B[0])
+	}
+	if l.GW[0] != 0 || l.GB[0] != 0 {
+		t.Error("grads not cleared after step")
+	}
+}
+
+func TestMLPJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := NewMLP([]int{3, 7, 2}, ReLU, Sigmoid, rng)
+	x := []float64{0.5, -0.5, 1}
+	want := append([]float64(nil), net.Forward(x)...)
+	data, err := json.Marshal(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MLP
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	got := back.Forward(x)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("round-trip output differs: %v vs %v", got, want)
+		}
+	}
+	// Malformed JSON rejected.
+	var bad MLP
+	if err := json.Unmarshal([]byte(`{"sizes":[2],"acts":[],"w":[],"b":[]}`), &bad); err == nil {
+		t.Error("malformed MLP accepted")
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a := NewMLP([]int{4, 8, 2}, ReLU, Sigmoid, rand.New(rand.NewSource(7)))
+	b := NewMLP([]int{4, 8, 2}, ReLU, Sigmoid, rand.New(rand.NewSource(7)))
+	for li := range a.Layers {
+		for i := range a.Layers[li].W {
+			if a.Layers[li].W[i] != b.Layers[li].W[i] {
+				t.Fatal("same seed produced different weights")
+			}
+		}
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	net := NewMLP([]int{3, 5, 2}, ReLU, Sigmoid, rand.New(rand.NewSource(8)))
+	want := 3*5 + 5 + 5*2 + 2
+	if net.NumParams() != want {
+		t.Errorf("NumParams = %d, want %d", net.NumParams(), want)
+	}
+}
+
+func TestPaperMLPShape(t *testing.T) {
+	net := PaperMLP(10, 4, rand.New(rand.NewSource(9)))
+	if len(net.Layers) != 6 {
+		t.Fatalf("layers = %d, want 6", len(net.Layers))
+	}
+	for i, l := range net.Layers[:5] {
+		if l.Out != 128 || l.Act != ReLU {
+			t.Errorf("hidden layer %d: out=%d act=%v", i, l.Out, l.Act)
+		}
+	}
+	outL := net.Layers[5]
+	if outL.Out != 4 || outL.Act != Sigmoid {
+		t.Errorf("output layer: out=%d act=%v", outL.Out, outL.Act)
+	}
+	y := net.Forward(make([]float64, 10))
+	for _, v := range y {
+		if v <= 0 || v >= 1 {
+			t.Errorf("sigmoid output %v out of (0,1)", v)
+		}
+	}
+}
+
+// Property: sigmoid outputs always lie in [0,1] for any finite input
+// (saturation to exactly 0 or 1 is possible in float64 for extreme
+// pre-activations and is acceptable: Normalize repairs all-zero pairs).
+func TestSigmoidRangeProperty(t *testing.T) {
+	net := PaperMLP(6, 3, rand.New(rand.NewSource(10)))
+	f := func(a, b, c, d, e, g float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 100)
+		}
+		x := []float64{clamp(a), clamp(b), clamp(c), clamp(d), clamp(e), clamp(g)}
+		for _, v := range net.Forward(x) {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidConstruction(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewDense(0, 1, ReLU, rand.New(rand.NewSource(1))) },
+		func() { NewMLP([]int{3}, ReLU, Sigmoid, rand.New(rand.NewSource(1))) },
+		func() { NewAdam(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,170 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"figret/internal/graph"
+	"figret/internal/lp"
+	"figret/internal/te"
+)
+
+func geantSetup(t *testing.T) (*te.PathSet, []float64) {
+	t.Helper()
+	ps, err := te.NewPathSet(graph.GEANT(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	d := make([]float64, ps.Pairs.Count())
+	for i := range d {
+		d[i] = rng.Float64() * 2
+	}
+	return ps, d
+}
+
+func TestSolverMatchesLPOnTriangle(t *testing.T) {
+	ps, err := te.NewPathSet(graph.Triangle(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := make([]float64, ps.Pairs.Count())
+	for i := range d {
+		d[i] = 1
+	}
+	_, lpObj, err := lp.MLUMin(ps, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, obj := MinimizeMLU(ps, d, Options{})
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if obj > lpObj*1.02+1e-9 {
+		t.Errorf("solver MLU %v vs LP %v (>2%% gap)", obj, lpObj)
+	}
+}
+
+func TestSolverMatchesLPOnGEANT(t *testing.T) {
+	ps, d := geantSetup(t)
+	_, lpObj, err := lp.MLUMin(ps, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, obj := MinimizeMLU(ps, d, Options{Iters: 800})
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if obj > lpObj*1.05+1e-9 {
+		t.Errorf("solver MLU %v vs LP %v (>5%% gap)", obj, lpObj)
+	}
+	if obj < lpObj-1e-7 {
+		t.Errorf("solver MLU %v beat the LP optimum %v — LP must be wrong", obj, lpObj)
+	}
+}
+
+func TestSolverRespectsCaps(t *testing.T) {
+	ps, d := geantSetup(t)
+	caps := lp.SensitivityCaps(ps, lp.ConstantF(0.4))
+	cfg, _ := MinimizeMLU(ps, d, Options{Iters: 500, Caps: caps})
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for p, r := range cfg.R {
+		if math.IsInf(caps[p], 1) {
+			continue
+		}
+		if r > caps[p]+1e-6 {
+			t.Errorf("path %d ratio %v exceeds cap %v", p, r, caps[p])
+		}
+	}
+}
+
+func TestSolverZeroDemand(t *testing.T) {
+	ps, _ := geantSetup(t)
+	d := make([]float64, ps.Pairs.Count())
+	cfg, obj := MinimizeMLU(ps, d, Options{Iters: 5})
+	if obj != 0 {
+		t.Errorf("zero-demand MLU = %v", obj)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolverDeterministic(t *testing.T) {
+	ps, d := geantSetup(t)
+	a, objA := MinimizeMLU(ps, d, Options{Iters: 100, Seed: 3})
+	b, objB := MinimizeMLU(ps, d, Options{Iters: 100, Seed: 3})
+	if objA != objB {
+		t.Fatalf("objectives differ: %v vs %v", objA, objB)
+	}
+	for i := range a.R {
+		if a.R[i] != b.R[i] {
+			t.Fatal("ratios differ across identical runs")
+		}
+	}
+}
+
+func TestSolverImprovesOverIterations(t *testing.T) {
+	ps, d := geantSetup(t)
+	_, few := MinimizeMLU(ps, d, Options{Iters: 10})
+	_, many := MinimizeMLU(ps, d, Options{Iters: 600})
+	if many > few+1e-9 {
+		t.Errorf("more iterations worsened MLU: %v -> %v", few, many)
+	}
+}
+
+func TestProjectCapsExact(t *testing.T) {
+	ps, err := te.NewPathSet(graph.Triangle(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := te.NewConfig(ps) // all mass on direct paths
+	caps := make([]float64, ps.NumPaths())
+	for p := range caps {
+		caps[p] = 0.6
+	}
+	projectCaps(ps, cfg, caps)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for p, r := range cfg.R {
+		if r > caps[p]+1e-9 {
+			t.Errorf("path %d ratio %v exceeds cap after projection", p, r)
+		}
+	}
+}
+
+func TestSoftmaxPerPair(t *testing.T) {
+	ps, err := te.NewPathSet(graph.Triangle(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := make([]float64, ps.NumPaths())
+	r := make([]float64, ps.NumPaths())
+	softmaxPerPair(ps, z, r)
+	for _, pp := range ps.PairPaths {
+		sum := 0.0
+		for _, p := range pp {
+			if math.Abs(r[p]-0.5) > 1e-12 {
+				t.Errorf("uniform logits should give 0.5, got %v", r[p])
+			}
+			sum += r[p]
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("pair softmax sums to %v", sum)
+		}
+	}
+	// Extreme logits must not overflow.
+	for i := range z {
+		z[i] = 1e4 * float64(i%3)
+	}
+	softmaxPerPair(ps, z, r)
+	for _, v := range r {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("softmax overflow")
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package te implements the traffic-engineering model of §3 of the FIGRET
+// paper: source-destination pair indexing, candidate path sets with their
+// incidence structures (Function 1 of Appendix D.1), TE configurations
+// (per-path split ratios), Max Link Utilization evaluation, path sensitivity
+// S_p = r_p / C_p, and the failure-rerouting policy of §4.5.
+package te
+
+import "fmt"
+
+// Pairs provides a dense indexing of all ordered source-destination pairs
+// (s,d), s != d, over n vertices. Pair index layout is row-major by source
+// with the diagonal removed: pairs of source s occupy indices
+// s*(n-1) .. s*(n-1)+n-2.
+type Pairs struct {
+	n int
+}
+
+// NewPairs returns the pair indexing for n vertices.
+func NewPairs(n int) Pairs {
+	if n < 2 {
+		panic(fmt.Sprintf("te: need at least 2 vertices, got %d", n))
+	}
+	return Pairs{n: n}
+}
+
+// N returns the vertex count.
+func (p Pairs) N() int { return p.n }
+
+// Count returns the number of ordered SD pairs, n*(n-1).
+func (p Pairs) Count() int { return p.n * (p.n - 1) }
+
+// Index returns the dense index of pair (s,d). It panics if s==d or either
+// endpoint is out of range.
+func (p Pairs) Index(s, d int) int {
+	if s == d || s < 0 || d < 0 || s >= p.n || d >= p.n {
+		panic(fmt.Sprintf("te: invalid pair (%d,%d) for n=%d", s, d, p.n))
+	}
+	if d > s {
+		return s*(p.n-1) + d - 1
+	}
+	return s*(p.n-1) + d
+}
+
+// SD returns the (source, destination) of a pair index.
+func (p Pairs) SD(idx int) (s, d int) {
+	if idx < 0 || idx >= p.Count() {
+		panic(fmt.Sprintf("te: pair index %d out of range [0,%d)", idx, p.Count()))
+	}
+	s = idx / (p.n - 1)
+	d = idx % (p.n - 1)
+	if d >= s {
+		d++
+	}
+	return s, d
+}

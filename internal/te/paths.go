@@ -1,0 +1,211 @@
+package te
+
+import (
+	"fmt"
+	"math"
+
+	"figret/internal/graph"
+)
+
+// PathSet holds the candidate paths for every SD pair of a topology together
+// with the precomputed incidence structures that map split ratios to edge
+// flows (the SDtoPath and PathtoEdge matrices of Function 1, Appendix D.1,
+// stored sparsely).
+//
+// A PathSet is immutable after construction and safe for concurrent use.
+type PathSet struct {
+	G     *graph.Graph
+	Pairs Pairs
+
+	// Paths is the flat list of all candidate paths across all pairs.
+	Paths []graph.Path
+	// PairOf[p] is the pair index served by path p.
+	PairOf []int
+	// EdgeIDs[p] lists the edge indices traversed by path p.
+	EdgeIDs [][]int
+	// Cap[p] is the path capacity C_p = min edge capacity along p.
+	Cap []float64
+	// PairPaths[k] lists the path indices serving pair k (ordered by length).
+	PairPaths [][]int
+}
+
+// PathSelector chooses candidate paths for one SD pair.
+type PathSelector func(g *graph.Graph, s, d, k int) []graph.Path
+
+// YenSelector returns the paper's default path selection: Yen's K shortest
+// paths by hop count.
+func YenSelector(g *graph.Graph, s, d, k int) []graph.Path {
+	return g.KShortestPaths(s, d, k, graph.HopWeight)
+}
+
+// NewPathSet computes candidate paths for every SD pair of g using sel
+// (k paths per pair where the topology allows). It returns an error if any
+// pair has no path (disconnected topology).
+func NewPathSet(g *graph.Graph, k int, sel PathSelector) (*PathSet, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("te: path count k=%d must be positive", k)
+	}
+	if sel == nil {
+		sel = YenSelector
+	}
+	n := g.NumVertices()
+	pairs := NewPairs(n)
+	ps := &PathSet{
+		G:         g,
+		Pairs:     pairs,
+		PairPaths: make([][]int, pairs.Count()),
+	}
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			pi := pairs.Index(s, d)
+			cand := sel(g, s, d, k)
+			if len(cand) == 0 {
+				return nil, fmt.Errorf("te: no path from %d to %d", s, d)
+			}
+			for _, p := range cand {
+				eids, ok := p.Edges(g)
+				if !ok {
+					return nil, fmt.Errorf("te: selector returned invalid path %v for (%d,%d)", p, s, d)
+				}
+				id := len(ps.Paths)
+				ps.Paths = append(ps.Paths, p)
+				ps.PairOf = append(ps.PairOf, pi)
+				ps.EdgeIDs = append(ps.EdgeIDs, eids)
+				ps.Cap = append(ps.Cap, p.Capacity(g))
+				ps.PairPaths[pi] = append(ps.PairPaths[pi], id)
+			}
+		}
+	}
+	return ps, nil
+}
+
+// NumPaths returns the total number of candidate paths.
+func (ps *PathSet) NumPaths() int { return len(ps.Paths) }
+
+// MaxPathsPerPair returns the largest candidate set size over all pairs.
+func (ps *PathSet) MaxPathsPerPair() int {
+	m := 0
+	for _, pp := range ps.PairPaths {
+		if len(pp) > m {
+			m = len(pp)
+		}
+	}
+	return m
+}
+
+// EdgeFlows accumulates the per-edge flow induced by demand vector d (indexed
+// by pair) and split ratios r (indexed by path): f_e = Σ_p d[pair(p)]·r[p]
+// over paths containing e. The result has one entry per directed edge.
+// dst, if non-nil and correctly sized, is reused to avoid allocation.
+func (ps *PathSet) EdgeFlows(d, r []float64, dst []float64) []float64 {
+	ne := ps.G.NumEdges()
+	if dst == nil || len(dst) != ne {
+		dst = make([]float64, ne)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	for p, eids := range ps.EdgeIDs {
+		f := d[ps.PairOf[p]] * r[p]
+		if f == 0 {
+			continue
+		}
+		for _, e := range eids {
+			dst[e] += f
+		}
+	}
+	return dst
+}
+
+// MLU returns the max link utilization induced by demand d under split
+// ratios r, and the index of the arg-max edge. For an all-zero demand it
+// returns (0, 0).
+func (ps *PathSet) MLU(d, r []float64) (float64, int) {
+	flows := ps.EdgeFlows(d, r, nil)
+	return ps.MLUFromFlows(flows)
+}
+
+// MLUFromFlows converts per-edge flows to (max utilization, argmax edge).
+func (ps *PathSet) MLUFromFlows(flows []float64) (float64, int) {
+	best, arg := 0.0, 0
+	for e, f := range flows {
+		u := f / ps.G.Edge(e).Capacity
+		if u > best {
+			best, arg = u, e
+		}
+	}
+	return best, arg
+}
+
+// Utilizations returns per-edge utilization f_e / c_e for demand d under r.
+func (ps *PathSet) Utilizations(d, r []float64) []float64 {
+	flows := ps.EdgeFlows(d, r, nil)
+	for e := range flows {
+		flows[e] /= ps.G.Edge(e).Capacity
+	}
+	return flows
+}
+
+// SharedLinkMLU evaluates MLU treating each pair of opposite directed edges
+// as one undirected link whose capacity is shared by both directions:
+// u(a,b) = (f_{a->b} + f_{b->a}) / c. This is the convention of the paper's
+// Figure 3 worked example ("A↔B: 2"); the evaluation sections use the
+// per-directed-edge MLU instead.
+func (ps *PathSet) SharedLinkMLU(d, r []float64) float64 {
+	flows := ps.EdgeFlows(d, r, nil)
+	best := 0.0
+	for e, f := range flows {
+		ed := ps.G.Edge(e)
+		total := f
+		if rev, ok := ps.G.EdgeID(ed.To, ed.From); ok {
+			total += flows[rev]
+		}
+		if u := total / ed.Capacity; u > best {
+			best = u
+		}
+	}
+	return best
+}
+
+// Sensitivities returns S_p = r_p / C_p for every path (the paper's path
+// sensitivity metric, §4.1). Capacities can optionally be normalized so the
+// topology's smallest edge capacity counts as 1, as the paper does when
+// plotting Figure 8; pass normalize=true for that convention.
+func (ps *PathSet) Sensitivities(r []float64, normalize bool) []float64 {
+	scale := 1.0
+	if normalize {
+		if m := ps.G.MinCapacity(); m > 0 {
+			scale = m
+		}
+	}
+	s := make([]float64, len(r))
+	for p := range r {
+		s[p] = r[p] * scale / ps.Cap[p]
+	}
+	return s
+}
+
+// MaxPairSensitivities returns S^max_sd per pair: the maximum sensitivity
+// among the paths serving each pair (used by the L2 loss term, Eq. 8).
+func (ps *PathSet) MaxPairSensitivities(r []float64, normalize bool) []float64 {
+	s := ps.Sensitivities(r, normalize)
+	out := make([]float64, ps.Pairs.Count())
+	for i := range out {
+		out[i] = math.Inf(-1)
+	}
+	for p, v := range s {
+		if pi := ps.PairOf[p]; v > out[pi] {
+			out[pi] = v
+		}
+	}
+	for i, v := range out {
+		if math.IsInf(v, -1) {
+			out[i] = 0
+		}
+	}
+	return out
+}

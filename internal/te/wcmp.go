@@ -1,0 +1,102 @@
+package te
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements WCMP (Weighted-Cost Multi-Path) quantization. Real
+// switches realize split ratios as small integer weight tables, not
+// arbitrary reals; the paper's deployability argument (§7) is that FIGRET
+// "only needs switches that support WCMP". QuantizeWCMP converts a
+// configuration's ratios into per-pair integer weights with a bounded table
+// size, using the largest-remainder method, so the resulting configuration
+// is exactly implementable in such hardware.
+
+// QuantizeWCMP returns a copy of c whose per-pair ratios are multiples of
+// 1/tableSize: each pair's ratio vector becomes integer weights summing to
+// tableSize. tableSize must be positive. Weights are assigned by the
+// largest-remainder method, which minimizes the per-path L1 rounding error
+// among all integer apportionments.
+func QuantizeWCMP(c *Config, tableSize int) (*Config, error) {
+	if tableSize <= 0 {
+		return nil, fmt.Errorf("te: WCMP table size %d must be positive", tableSize)
+	}
+	out := c.Clone()
+	for _, pp := range c.ps.PairPaths {
+		quantizePair(out.R, pp, tableSize)
+	}
+	return out, nil
+}
+
+// quantizePair rounds the ratios at indices pp to multiples of 1/total.
+func quantizePair(r []float64, pp []int, total int) {
+	type rem struct {
+		p    int
+		frac float64
+	}
+	// Floor allocation plus remainder ranking.
+	floorSum := 0
+	rems := make([]rem, 0, len(pp))
+	weights := make(map[int]int, len(pp))
+	for _, p := range pp {
+		exact := r[p] * float64(total)
+		w := int(math.Floor(exact + 1e-12))
+		weights[p] = w
+		floorSum += w
+		rems = append(rems, rem{p: p, frac: exact - float64(w)})
+	}
+	// Distribute the remaining slots to the largest remainders
+	// (deterministic tie-break on path index).
+	missing := total - floorSum
+	for i := 0; i < len(rems); i++ {
+		for j := i + 1; j < len(rems); j++ {
+			if rems[j].frac > rems[i].frac+1e-15 ||
+				(math.Abs(rems[j].frac-rems[i].frac) <= 1e-15 && rems[j].p < rems[i].p) {
+				rems[i], rems[j] = rems[j], rems[i]
+			}
+		}
+	}
+	for i := 0; i < missing && i < len(rems); i++ {
+		weights[rems[i].p]++
+	}
+	inv := 1 / float64(total)
+	for _, p := range pp {
+		r[p] = float64(weights[p]) * inv
+	}
+}
+
+// WCMPError returns the maximum absolute per-path ratio difference between
+// c and its quantized counterpart q.
+func WCMPError(c, q *Config) float64 {
+	worst := 0.0
+	for p := range c.R {
+		if d := math.Abs(c.R[p] - q.R[p]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// WCMPWeights extracts the integer weight table of a quantized
+// configuration for one pair (weights per candidate path, summing to
+// tableSize). It errors if the configuration is not a multiple of
+// 1/tableSize.
+func WCMPWeights(c *Config, pair, tableSize int) ([]int, error) {
+	pp := c.ps.PairPaths[pair]
+	out := make([]int, len(pp))
+	sum := 0
+	for i, p := range pp {
+		w := c.R[p] * float64(tableSize)
+		rounded := math.Round(w)
+		if math.Abs(w-rounded) > 1e-6 {
+			return nil, fmt.Errorf("te: ratio %v of path %d is not a multiple of 1/%d", c.R[p], p, tableSize)
+		}
+		out[i] = int(rounded)
+		sum += out[i]
+	}
+	if sum != tableSize {
+		return nil, fmt.Errorf("te: pair %d weights sum to %d, want %d", pair, sum, tableSize)
+	}
+	return out, nil
+}

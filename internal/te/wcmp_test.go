@@ -1,0 +1,159 @@
+package te
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"figret/internal/graph"
+)
+
+func TestQuantizeWCMPBasic(t *testing.T) {
+	ps := trianglePS(t)
+	c := NewConfig(ps)
+	pp := ps.PairPaths[0]
+	c.R[pp[0]], c.R[pp[1]] = 0.63, 0.37
+	q, err := QuantizeWCMP(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 0.63*8 = 5.04 -> 5; 0.37*8 = 2.96 -> 3.
+	if math.Abs(q.R[pp[0]]-5.0/8) > 1e-12 || math.Abs(q.R[pp[1]]-3.0/8) > 1e-12 {
+		t.Errorf("quantized = (%v, %v)", q.R[pp[0]], q.R[pp[1]])
+	}
+	// Original untouched.
+	if c.R[pp[0]] != 0.63 {
+		t.Error("input mutated")
+	}
+	if _, err := QuantizeWCMP(c, 0); err == nil {
+		t.Error("table size 0 accepted")
+	}
+}
+
+func TestQuantizeWCMPErrorBound(t *testing.T) {
+	// Property: per-path error of largest-remainder quantization is below
+	// 1/tableSize, and ratios stay a valid distribution.
+	g := graph.FullMesh(5, 10)
+	ps, err := NewPathSet(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewConfig(ps)
+		for i := range c.R {
+			c.R[i] = rng.Float64()
+		}
+		c.Normalize()
+		for _, size := range []int{4, 16, 64} {
+			q, err := QuantizeWCMP(c, size)
+			if err != nil {
+				return false
+			}
+			if q.Validate() != nil {
+				return false
+			}
+			if WCMPError(c, q) >= 1/float64(size) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeWCMPConvergesToExact(t *testing.T) {
+	ps := trianglePS(t)
+	c := UniformConfig(ps)
+	c.R[ps.PairPaths[0][0]] = 0.7391
+	c.R[ps.PairPaths[0][1]] = 0.2609
+	prev := math.Inf(1)
+	for _, size := range []int{2, 8, 32, 128, 1024} {
+		q, err := QuantizeWCMP(c, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := WCMPError(c, q)
+		if e > prev+1e-12 {
+			t.Errorf("error grew with table size %d: %v -> %v", size, prev, e)
+		}
+		prev = e
+	}
+	if prev > 1e-3 {
+		t.Errorf("large table error %v", prev)
+	}
+}
+
+func TestQuantizeWCMPMLUImpactShrinks(t *testing.T) {
+	// The MLU of the quantized config approaches the ideal config's MLU.
+	g := graph.GEANT()
+	ps, err := NewPathSet(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	c := NewConfig(ps)
+	for i := range c.R {
+		c.R[i] = rng.Float64()
+	}
+	c.Normalize()
+	d := make([]float64, ps.Pairs.Count())
+	for i := range d {
+		d[i] = rng.Float64()
+	}
+	ideal := c.MLU(d)
+	q4, _ := QuantizeWCMP(c, 4)
+	q64, _ := QuantizeWCMP(c, 64)
+	gap4 := math.Abs(q4.MLU(d) - ideal)
+	gap64 := math.Abs(q64.MLU(d) - ideal)
+	if gap64 > gap4+1e-12 {
+		t.Errorf("MLU gap did not shrink: table 4 gap %v, table 64 gap %v", gap4, gap64)
+	}
+	if gap64 > 0.05*ideal {
+		t.Errorf("table-64 MLU gap %v too large vs ideal %v", gap64, ideal)
+	}
+}
+
+func TestWCMPWeights(t *testing.T) {
+	ps := trianglePS(t)
+	c := NewConfig(ps)
+	pp := ps.PairPaths[0]
+	c.R[pp[0]], c.R[pp[1]] = 0.75, 0.25
+	q, err := QuantizeWCMP(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := WCMPWeights(q, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 3 || w[1] != 1 {
+		t.Errorf("weights = %v, want [3 1]", w)
+	}
+	// Non-quantized config rejected.
+	c.R[pp[0]], c.R[pp[1]] = 0.701, 0.299
+	if _, err := WCMPWeights(c, 0, 4); err == nil {
+		t.Error("non-multiple ratios accepted")
+	}
+}
+
+func TestQuantizeZeroPair(t *testing.T) {
+	// A pair concentrated on one path stays concentrated.
+	ps := trianglePS(t)
+	c := NewConfig(ps)
+	q, err := QuantizeWCMP(c, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, r := range q.R {
+		if r != c.R[p] {
+			t.Errorf("path %d changed: %v -> %v", p, c.R[p], r)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package traffic
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// traceJSON is the portable on-disk trace representation used by the CLI
+// and the loaders below.
+type traceJSON struct {
+	N         int         `json:"n"`
+	Snapshots [][]float64 `json:"snapshots"`
+}
+
+// MarshalJSON serializes the trace with its vertex count.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(traceJSON{N: t.Pairs.N(), Snapshots: t.Snapshots})
+}
+
+// UnmarshalJSON restores a trace, validating snapshot widths.
+func (t *Trace) UnmarshalJSON(data []byte) error {
+	var j traceJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.N < 2 {
+		return fmt.Errorf("traffic: invalid vertex count %d", j.N)
+	}
+	restored := NewTrace(j.N)
+	for i, s := range j.Snapshots {
+		if err := restored.Append(s); err != nil {
+			return fmt.Errorf("traffic: snapshot %d: %w", i, err)
+		}
+	}
+	*t = *restored
+	return nil
+}
+
+// WriteCSV emits the trace as CSV with a header row
+// (t, src, dst, demand), one row per nonzero demand entry — the sparse
+// format commonly used for public TM datasets.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t", "src", "dst", "demand"}); err != nil {
+		return err
+	}
+	for ti, snap := range t.Snapshots {
+		for pi, v := range snap {
+			if v == 0 {
+				continue
+			}
+			s, d := t.Pairs.SD(pi)
+			rec := []string{
+				strconv.Itoa(ti),
+				strconv.Itoa(s),
+				strconv.Itoa(d),
+				strconv.FormatFloat(v, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the WriteCSV format into a trace over n vertices. Rows may
+// arrive in any order; missing entries are zero. The snapshot count is
+// 1 + the largest t seen.
+func ReadCSV(r io.Reader, n int) (*Trace, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("traffic: invalid vertex count %d", n)
+	}
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return NewTrace(n), nil
+	}
+	start := 0
+	if records[0][0] == "t" {
+		start = 1
+	}
+	type entry struct {
+		t, pair int
+		v       float64
+	}
+	tr := NewTrace(n)
+	var entries []entry
+	maxT := -1
+	for i := start; i < len(records); i++ {
+		rec := records[i]
+		if len(rec) != 4 {
+			return nil, fmt.Errorf("traffic: row %d has %d fields, want 4", i, len(rec))
+		}
+		ti, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("traffic: row %d: bad t %q", i, rec[0])
+		}
+		s, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("traffic: row %d: bad src %q", i, rec[1])
+		}
+		d, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("traffic: row %d: bad dst %q", i, rec[2])
+		}
+		v, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: row %d: bad demand %q", i, rec[3])
+		}
+		if ti < 0 || s < 0 || s >= n || d < 0 || d >= n || s == d || v < 0 {
+			return nil, fmt.Errorf("traffic: row %d out of range: %v", i, rec)
+		}
+		entries = append(entries, entry{t: ti, pair: tr.Pairs.Index(s, d), v: v})
+		if ti > maxT {
+			maxT = ti
+		}
+	}
+	for ti := 0; ti <= maxT; ti++ {
+		tr.Append(make([]float64, tr.Pairs.Count()))
+	}
+	for _, e := range entries {
+		tr.Snapshots[e.t][e.pair] = e.v
+	}
+	return tr, nil
+}

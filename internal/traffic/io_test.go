@@ -1,0 +1,107 @@
+package traffic
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig, err := DC(PoDDB, 4, 25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Pairs.N() != 4 || back.Len() != orig.Len() {
+		t.Fatalf("shape changed: n=%d len=%d", back.Pairs.N(), back.Len())
+	}
+	for i := range orig.Snapshots {
+		for j := range orig.Snapshots[i] {
+			if back.Snapshots[i][j] != orig.Snapshots[i][j] {
+				t.Fatalf("value changed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestJSONValidation(t *testing.T) {
+	var tr Trace
+	if err := json.Unmarshal([]byte(`{"n":1,"snapshots":[]}`), &tr); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"n":3,"snapshots":[[1,2]]}`), &tr); err == nil {
+		t.Error("short snapshot accepted")
+	}
+	if err := json.Unmarshal([]byte(`{bad`), &tr); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := NewTrace(3)
+	orig.Append([]float64{1, 0, 2.5, 0, 0, 3})
+	orig.Append([]float64{0, 0, 0, 0, 0, 0})
+	orig.Append([]float64{7, 0, 0, 0, 1e-3, 0})
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (zero snapshot preserved via max t)", back.Len())
+	}
+	for i := range orig.Snapshots {
+		for j := range orig.Snapshots[i] {
+			if back.Snapshots[i][j] != orig.Snapshots[i][j] {
+				t.Fatalf("(%d,%d): %v vs %v", i, j, back.Snapshots[i][j], orig.Snapshots[i][j])
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+		n    int
+	}{
+		{"bad n", "t,src,dst,demand\n", 1},
+		{"short row", "0,1\n", 3},
+		{"bad t", "x,0,1,5\n", 3},
+		{"bad src", "0,x,1,5\n", 3},
+		{"bad dst", "0,0,x,5\n", 3},
+		{"bad demand", "0,0,1,x\n", 3},
+		{"self loop", "0,1,1,5\n", 3},
+		{"negative demand", "0,0,1,-2\n", 3},
+		{"out of range dst", "0,0,9,5\n", 3},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.csv), c.n); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Empty input is fine.
+	tr, err := ReadCSV(strings.NewReader(""), 3)
+	if err != nil || tr.Len() != 0 {
+		t.Errorf("empty input: %v len %d", err, tr.Len())
+	}
+	// Headerless input is fine too.
+	tr, err = ReadCSV(strings.NewReader("0,0,1,5\n"), 3)
+	if err != nil || tr.Len() != 1 {
+		t.Fatalf("headerless: %v", err)
+	}
+	if tr.At(0)[tr.Pairs.Index(0, 1)] != 5 {
+		t.Error("headerless value lost")
+	}
+}

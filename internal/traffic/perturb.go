@@ -1,0 +1,61 @@
+package traffic
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Perturb implements the Table 3 stress test: for each SD pair, every test
+// snapshot receives additive Gaussian noise α·N(0, σ²_sd), where σ_sd is the
+// pair's standard deviation measured on refStats (typically the training
+// trace). Demands are clamped at 0. The input trace is not modified.
+func Perturb(t *Trace, refStats *Trace, alpha float64, seed int64) *Trace {
+	sigma := refStats.Stddevs()
+	return perturbWith(t, sigma, alpha, seed)
+}
+
+// WorstCasePerturb implements the Table 5 adversarial variant: the
+// per-pair noise scales are the reference σ values with their variance
+// ranking reversed, so historically stable pairs receive the largest
+// fluctuations ("we intentionally reverse the order of the magnitude of
+// temporal traffic fluctuations among SD pairs").
+func WorstCasePerturb(t *Trace, refStats *Trace, alpha float64, seed int64) *Trace {
+	sigma := refStats.Stddevs()
+	reversed := reverseRankMap(sigma)
+	return perturbWith(t, reversed, alpha, seed)
+}
+
+// reverseRankMap returns a vector where the pair holding rank i of xs
+// (ascending) is assigned the value at rank n-1-i: the largest value goes to
+// the historically smallest pair, and so on.
+func reverseRankMap(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	sorted := make([]float64, len(xs))
+	for rank, i := range idx {
+		_ = i
+		sorted[rank] = xs[idx[rank]]
+	}
+	out := make([]float64, len(xs))
+	for rank, i := range idx {
+		out[i] = sorted[len(sorted)-1-rank]
+	}
+	return out
+}
+
+func perturbWith(t *Trace, sigma []float64, alpha float64, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	out := t.Clone()
+	for _, snap := range out.Snapshots {
+		for i := range snap {
+			snap[i] += alpha * sigma[i] * rng.NormFloat64()
+			if snap[i] < 0 {
+				snap[i] = 0
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+// Package traffic provides demand matrices, the synthetic workload
+// generators standing in for the paper's datasets (GEANT WAN traces, Meta
+// PoD/ToR data-center traces, the pFabric flow workload, and gravity-model
+// WAN traffic), traffic statistics (per-pair variance, cosine-similarity
+// burstiness analysis), and the perturbation machinery behind Tables 3 and 5.
+//
+// A demand snapshot is a flat []float64 indexed by te.Pairs pair index; a
+// Trace is an ordered sequence of snapshots.
+package traffic
+
+import (
+	"fmt"
+
+	"figret/internal/te"
+)
+
+// Trace is a time-ordered sequence of demand matrices over a fixed vertex
+// set. Snapshots share the pair indexing of Pairs.
+type Trace struct {
+	Pairs     te.Pairs
+	Snapshots [][]float64
+}
+
+// NewTrace allocates an empty trace for n vertices.
+func NewTrace(n int) *Trace {
+	return &Trace{Pairs: te.NewPairs(n)}
+}
+
+// Len returns the number of snapshots.
+func (t *Trace) Len() int { return len(t.Snapshots) }
+
+// At returns snapshot i (not a copy).
+func (t *Trace) At(i int) []float64 { return t.Snapshots[i] }
+
+// Append adds a snapshot; it must have Pairs.Count() entries.
+func (t *Trace) Append(d []float64) error {
+	if len(d) != t.Pairs.Count() {
+		return fmt.Errorf("traffic: snapshot has %d entries, want %d", len(d), t.Pairs.Count())
+	}
+	t.Snapshots = append(t.Snapshots, d)
+	return nil
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	c := &Trace{Pairs: t.Pairs, Snapshots: make([][]float64, len(t.Snapshots))}
+	for i, s := range t.Snapshots {
+		c.Snapshots[i] = append([]float64(nil), s...)
+	}
+	return c
+}
+
+// Slice returns a view of snapshots [from, to).
+func (t *Trace) Slice(from, to int) *Trace {
+	if from < 0 || to > t.Len() || from > to {
+		panic(fmt.Sprintf("traffic: bad slice [%d,%d) of %d", from, to, t.Len()))
+	}
+	return &Trace{Pairs: t.Pairs, Snapshots: t.Snapshots[from:to]}
+}
+
+// Split divides the trace chronologically: the first frac (0..1) of the
+// snapshots become train, the rest test — the paper's protocol ("we sorted
+// the data chronologically, using the first 75% for training").
+func (t *Trace) Split(frac float64) (train, test *Trace) {
+	if frac < 0 || frac > 1 {
+		panic(fmt.Sprintf("traffic: split fraction %v out of [0,1]", frac))
+	}
+	cut := int(float64(t.Len()) * frac)
+	return t.Slice(0, cut), t.Slice(cut, t.Len())
+}
+
+// Scale multiplies every demand by f in place and returns t.
+func (t *Trace) Scale(f float64) *Trace {
+	for _, s := range t.Snapshots {
+		for i := range s {
+			s[i] *= f
+		}
+	}
+	return t
+}
+
+// MaxDemand returns the largest single demand entry in the trace.
+func (t *Trace) MaxDemand() float64 {
+	m := 0.0
+	for _, s := range t.Snapshots {
+		for _, v := range s {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// Window returns the H snapshots strictly before index t as a flat vector
+// (oldest first), the input layout consumed by the history-window models.
+// It panics unless H <= t <= Len().
+func (tr *Trace) Window(t, H int) []float64 {
+	if t < H || t > tr.Len() {
+		panic(fmt.Sprintf("traffic: window t=%d H=%d len=%d", t, H, tr.Len()))
+	}
+	k := tr.Pairs.Count()
+	out := make([]float64, 0, H*k)
+	for i := t - H; i < t; i++ {
+		out = append(out, tr.Snapshots[i]...)
+	}
+	return out
+}
+
+// PeakMatrix returns the entrywise maximum over the last H snapshots before
+// index t — the "anticipated matrix composed of the peak values for each
+// source-destination pair within a time window" used by the
+// desensitization-based (Jupiter hedging) baseline.
+func (tr *Trace) PeakMatrix(t, H int) []float64 {
+	if t < 1 {
+		panic("traffic: PeakMatrix needs t >= 1")
+	}
+	start := t - H
+	if start < 0 {
+		start = 0
+	}
+	k := tr.Pairs.Count()
+	out := make([]float64, k)
+	for i := start; i < t; i++ {
+		for j, v := range tr.Snapshots[i] {
+			if v > out[j] {
+				out[j] = v
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package tsne
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// clusters builds two well-separated Gaussian blobs in 10 dimensions.
+func clusters(n int, seed int64) (xs [][]float64, labels []int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		p := make([]float64, 10)
+		label := i % 2
+		for k := range p {
+			p[k] = rng.NormFloat64() * 0.3
+			if label == 1 {
+				p[k] += 8
+			}
+		}
+		xs = append(xs, p)
+		labels = append(labels, label)
+	}
+	return xs, labels
+}
+
+func TestRunSeparatesClusters(t *testing.T) {
+	xs, labels := clusters(40, 1)
+	ys, err := Run(xs, Options{Iters: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ys) != len(xs) || len(ys[0]) != 2 {
+		t.Fatalf("embedding shape %dx%d", len(ys), len(ys[0]))
+	}
+	// Within-cluster distances must be far smaller than between-cluster.
+	var within, between float64
+	var nw, nb int
+	for i := range ys {
+		for j := i + 1; j < len(ys); j++ {
+			d := dist(ys[i], ys[j])
+			if labels[i] == labels[j] {
+				within += d
+				nw++
+			} else {
+				between += d
+				nb++
+			}
+		}
+	}
+	within /= float64(nw)
+	between /= float64(nb)
+	if between < 2*within {
+		t.Errorf("clusters not separated: within %v, between %v", within, between)
+	}
+}
+
+func dist(a, b []float64) float64 {
+	var s float64
+	for k := range a {
+		d := a[k] - b[k]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestRunDeterministic(t *testing.T) {
+	xs, _ := clusters(20, 2)
+	a, err := Run(xs, Options{Iters: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Run(xs, Options{Iters: 100, Seed: 7})
+	for i := range a {
+		for k := range a[i] {
+			if a[i][k] != b[i][k] {
+				t.Fatal("same seed produced different embeddings")
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run([][]float64{{1}, {2}}, Options{}); err == nil {
+		t.Error("too few points accepted")
+	}
+	bad := [][]float64{{1, 2}, {1}, {3, 4}, {5, 6}}
+	if _, err := Run(bad, Options{}); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestRunFiniteOutput(t *testing.T) {
+	xs, _ := clusters(24, 3)
+	ys, err := Run(xs, Options{Iters: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ys {
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite embedding coordinate")
+			}
+		}
+	}
+	// Output is centered.
+	for k := 0; k < 2; k++ {
+		var mean float64
+		for _, p := range ys {
+			mean += p[k]
+		}
+		mean /= float64(len(ys))
+		if math.Abs(mean) > 1e-6 {
+			t.Errorf("dimension %d not centered: %v", k, mean)
+		}
+	}
+}
+
+func TestPerplexityCalibration(t *testing.T) {
+	// Affinity rows must be valid distributions.
+	xs, _ := clusters(16, 4)
+	P := inputAffinities(xs, 5)
+	n := len(xs)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			v := P[i*n+j]
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("bad affinity P[%d,%d]=%v", i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+		if P[i*n+i] != 0 {
+			t.Fatalf("self affinity %v", P[i*n+i])
+		}
+	}
+}
+
+func TestPairwiseSpread(t *testing.T) {
+	a := [][]float64{{0, 0}, {0, 1}}
+	if s := PairwiseSpread(a); math.Abs(s-1) > 1e-12 {
+		t.Errorf("spread = %v, want 1", s)
+	}
+	if s := PairwiseSpread(a[:1]); s != 0 {
+		t.Errorf("single-point spread = %v", s)
+	}
+	// Spread grows with scale.
+	b := [][]float64{{0, 0}, {0, 5}, {5, 0}}
+	c := [][]float64{{0, 0}, {0, 1}, {1, 0}}
+	if PairwiseSpread(b) <= PairwiseSpread(c) {
+		t.Error("spread not monotone in scale")
+	}
+}
+
+func TestCentroidDistance(t *testing.T) {
+	a := [][]float64{{0, 0}, {2, 0}}
+	b := [][]float64{{10, 0}, {12, 0}}
+	if d := CentroidDistance(a, b); math.Abs(d-10) > 1e-12 {
+		t.Errorf("centroid distance = %v, want 10", d)
+	}
+	if d := CentroidDistance(nil, b); d != 0 {
+		t.Errorf("empty set distance = %v", d)
+	}
+}
