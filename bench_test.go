@@ -433,6 +433,59 @@ func BenchmarkFig20_DOTEFailureCase(b *testing.B) {
 
 // --- Micro-benchmarks -----------------------------------------------------
 
+// BenchmarkTrainStep measures a five-epoch training run on the ScaleFast
+// PoD env: the sequential per-sample reference path ("seq") against the
+// batched minibatch engine at batch sizes 1, 8 and 32. Run with -benchmem:
+// the batched engine must show the allocation elimination (scratch reuse
+// makes the steady-state epochs allocation-free, leaving only one-time
+// optimizer/scratch setup) and the blocked-GEMM wall-clock win, while
+// producing bitwise-identical loss trajectories to "seq" at every batch
+// size (TestBatchedMatchesSequentialTrajectory).
+func BenchmarkTrainStep(b *testing.B) {
+	run := func(batch int, seq bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			setup(b)
+			cfg := figret.Config{H: 6, Gamma: 1, Epochs: 5, Seed: 1, BatchSize: batch}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := figret.New(podEnv.PS, cfg)
+				b.StartTimer()
+				var err error
+				if seq {
+					_, err = m.TrainSequential(podEnv.Train)
+				} else {
+					_, err = m.Train(podEnv.Train)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("seq", run(1, true))
+	b.Run("batch=1", run(1, false))
+	b.Run("batch=8", run(8, false))
+	b.Run("batch=32", run(32, false))
+}
+
+// BenchmarkEdgeFlowsCSR exercises the flat CSR incidence walk that is the
+// inner loop of both the training loss and the gradient solver, on the
+// PoD-scale path set.
+func BenchmarkEdgeFlowsCSR(b *testing.B) {
+	setup(b)
+	ps := podEnv.PS
+	d := podEnv.Train.At(0)
+	cfg := te.UniformConfig(ps)
+	buf := make([]float64, ps.G.NumEdges())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps.EdgeFlows(d, cfg.R, buf)
+	}
+}
+
 func BenchmarkMicroMLUEval(b *testing.B) {
 	setup(b)
 	cfg := te.UniformConfig(geantPS)

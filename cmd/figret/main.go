@@ -39,6 +39,7 @@ func main() {
 		H      = fs.Int("H", 12, "history window")
 		gamma  = fs.Float64("gamma", 1, "robustness loss weight (0 = DOTE)")
 		epochs = fs.Int("epochs", 10, "training epochs")
+		batch  = fs.Int("batch", 1, "training minibatch size (1 = the paper's per-sample protocol; larger batches train faster)")
 		seed   = fs.Int64("seed", 1, "random seed")
 		out    = fs.String("out", "", "output file (gen/train)")
 		model  = fs.String("model", "", "model file (eval)")
@@ -59,11 +60,11 @@ func main() {
 	case "gen":
 		err = runGen(*topo, sc, *T, *seed, *out)
 	case "train":
-		err = runTrain(*topo, sc, *T, *H, *gamma, *epochs, *seed, *out)
+		err = runTrain(*topo, sc, *T, *H, *gamma, *epochs, *batch, *seed, *out)
 	case "eval":
 		err = runEval(*topo, sc, *T, *H, *seed, *model)
 	case "simulate":
-		err = runSimulate(*topo, sc, *T, *H, *gamma, *epochs, *seed, *delay)
+		err = runSimulate(*topo, sc, *T, *H, *gamma, *epochs, *batch, *seed, *delay)
 	default:
 		usage()
 		os.Exit(2)
@@ -136,7 +137,7 @@ func runGen(topo string, sc experiments.Scale, T int, seed int64, out string) er
 	return nil
 }
 
-func runTrain(topo string, sc experiments.Scale, T, H int, gamma float64, epochs int, seed int64, out string) error {
+func runTrain(topo string, sc experiments.Scale, T, H int, gamma float64, epochs, batch int, seed int64, out string) error {
 	if out == "" {
 		return fmt.Errorf("train requires -out")
 	}
@@ -144,7 +145,7 @@ func runTrain(topo string, sc experiments.Scale, T, H int, gamma float64, epochs
 	if err != nil {
 		return err
 	}
-	m := figret.New(env.PS, figret.Config{H: H, Gamma: gamma, Epochs: epochs, Seed: seed})
+	m := figret.New(env.PS, figret.Config{H: H, Gamma: gamma, Epochs: epochs, Seed: seed, BatchSize: batch})
 	stats, err := m.Train(env.Train)
 	if err != nil {
 		return err
@@ -200,7 +201,7 @@ func runEval(topo string, sc experiments.Scale, T, H int, seed int64, modelPath 
 	return nil
 }
 
-func runSimulate(topo string, sc experiments.Scale, T, H int, gamma float64, epochs int, seed int64, delay int) error {
+func runSimulate(topo string, sc experiments.Scale, T, H int, gamma float64, epochs, batch int, seed int64, delay int) error {
 	env, err := buildEnv(topo, sc, T, seed)
 	if err != nil {
 		return err
@@ -208,7 +209,7 @@ func runSimulate(topo string, sc experiments.Scale, T, H int, gamma float64, epo
 	// Stress the network so losses are visible: scale the trace to push the
 	// mean uniform-config MLU toward 1.
 	env.Trace.Scale(2)
-	m := figret.New(env.PS, figret.Config{H: H, Gamma: gamma, Epochs: epochs, Seed: seed})
+	m := figret.New(env.PS, figret.Config{H: H, Gamma: gamma, Epochs: epochs, Seed: seed, BatchSize: batch})
 	if _, err := m.Train(env.Train); err != nil {
 		return err
 	}

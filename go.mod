@@ -1,0 +1,3 @@
+module figret
+
+go 1.24

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"figret/internal/nn"
 	"figret/internal/te"
@@ -46,9 +48,13 @@ type Config struct {
 	// BetaRel is the smooth-max sharpness used when differentiating the MLU
 	// term (see internal/solver). Default 30.
 	BetaRel float64
-	// BatchSize accumulates gradients over this many samples before each
-	// Adam step (default 1, per-sample updates as in the paper's protocol;
-	// larger batches trade update frequency for gradient smoothness).
+	// BatchSize is the minibatch size of the batched training engine: each
+	// Adam step consumes the summed gradients of this many samples,
+	// evaluated as one [B][In] matrix pass through the network (default 1,
+	// per-sample updates as in the paper's protocol; larger batches trade
+	// update frequency for gradient smoothness and throughput). For any
+	// fixed BatchSize the trajectory is bitwise identical to sequential
+	// per-sample evaluation with gradient accumulation (TrainSequential).
 	BatchSize int
 	// LRDecay multiplies the learning rate after every epoch (default 1:
 	// constant rate). Values slightly below 1 (e.g. 0.95) stabilize the
@@ -89,7 +95,7 @@ func (c Config) withDefaults() Config {
 	if c.BetaRel == 0 {
 		c.BetaRel = 30
 	}
-	if c.BatchSize == 0 {
+	if c.BatchSize <= 0 {
 		c.BatchSize = 1
 	}
 	if c.LRDecay == 0 {
@@ -169,18 +175,15 @@ type TrainStats struct {
 	EpochMLU  []float64 // L1 alone (hard max)
 }
 
-// Train fits the model on tr using per-sample Adam updates, the protocol of
-// §4.3: for every t in [H, len), the window {D_{t-H}..D_{t-1}} is the input
-// and the revealed D_t scores the output configuration.
-func (m *Model) Train(tr *traffic.Trace) (TrainStats, error) {
+// fitTrace fits input normalization, variance weights and the loss scale
+// on the training trace, and validates trace/model compatibility.
+func (m *Model) fitTrace(tr *traffic.Trace) error {
 	if tr.Pairs.Count() != m.PS.Pairs.Count() {
-		return TrainStats{}, fmt.Errorf("figret: trace has %d pairs, model %d", tr.Pairs.Count(), m.PS.Pairs.Count())
+		return fmt.Errorf("figret: trace has %d pairs, model %d", tr.Pairs.Count(), m.PS.Pairs.Count())
 	}
-	H := m.Cfg.H
-	if tr.Len() <= H {
-		return TrainStats{}, fmt.Errorf("figret: trace length %d too short for window %d", tr.Len(), H)
+	if tr.Len() <= m.Cfg.H {
+		return fmt.Errorf("figret: trace length %d too short for window %d", tr.Len(), m.Cfg.H)
 	}
-	// Fit input normalization and variance weights on the training trace.
 	m.Scale = meanDemand(tr)
 	if m.Scale <= 0 {
 		m.Scale = 1
@@ -205,19 +208,159 @@ func (m *Model) Train(tr *traffic.Trace) (TrainStats, error) {
 		}
 	}
 	m.LossScale = typicalMLU(m.PS, tr)
+	return nil
+}
 
-	opt := nn.NewAdam(m.Cfg.LR)
-	rng := rand.New(rand.NewSource(m.Cfg.Seed + 1))
-	// With SelfTarget the window for target t ends at t itself, so targets
-	// start at H-1; otherwise the window is the H snapshots before t.
-	first := H
+// sampleOrder returns the shuffled-in-place training target order for tr.
+// With SelfTarget the window for target t ends at t itself, so targets
+// start at H-1; otherwise the window is the H snapshots before t.
+func (m *Model) sampleOrder(tr *traffic.Trace) []int {
+	first := m.Cfg.H
 	if m.Cfg.SelfTarget {
-		first = H - 1
+		first = m.Cfg.H - 1
 	}
 	order := make([]int, tr.Len()-first)
 	for i := range order {
 		order[i] = i + first
 	}
+	return order
+}
+
+// Train fits the model on tr under the protocol of §4.3 — for every t in
+// [H, len), the window {D_{t-H}..D_{t-1}} is the input and the revealed
+// D_t scores the output configuration — executed by the batched minibatch
+// engine: each shuffled minibatch of Cfg.BatchSize windows is assembled
+// into a row-major [B][H·K] matrix (Trace.WindowInto, no allocation), run
+// through nn.MLP.BatchForward, scored per sample by lossAndGrad in
+// parallel across a pool of lossScratch workers, and backpropagated with
+// one nn.MLP.BatchBackward before a single Adam step. With BatchSize 1
+// this reduces to the paper's per-sample updates; the loss trajectory is
+// bitwise identical to TrainSequential at every batch size.
+func (m *Model) Train(tr *traffic.Trace) (TrainStats, error) {
+	if err := m.fitTrace(tr); err != nil {
+		return TrainStats{}, err
+	}
+	H := m.Cfg.H
+	batch := m.Cfg.BatchSize
+	in := H * m.PS.Pairs.Count()
+	P := m.PS.NumPaths()
+
+	opt := nn.NewAdam(m.Cfg.LR)
+	rng := rand.New(rand.NewSource(m.Cfg.Seed + 1))
+	order := m.sampleOrder(tr)
+	if batch > len(order) {
+		batch = len(order)
+	}
+
+	scratch := nn.NewScratch(m.Net, batch)
+	xb := make([]float64, batch*in)  // minibatch input matrix [B][H·K]
+	dyb := make([]float64, batch*P)  // minibatch output gradient [B][P]
+	losses := make([]float64, batch) // per-sample losses, summed in order
+	mlus := make([]float64, batch)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > batch {
+		workers = batch
+	}
+	pool := make([]*lossScratch, workers)
+	for i := range pool {
+		pool[i] = newLossScratch(m.PS)
+	}
+	inv := 1 / m.Scale
+
+	stats := TrainStats{}
+	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var sumLoss, sumMLU float64
+		for start := 0; start < len(order); start += batch {
+			bs := batch
+			if rem := len(order) - start; bs > rem {
+				bs = rem
+			}
+			mb := order[start : start+bs]
+			for bi, t := range mb {
+				wt := t
+				if m.Cfg.SelfTarget {
+					wt = t + 1
+				}
+				row := xb[bi*in : (bi+1)*in]
+				tr.WindowInto(row, wt, H)
+				for i := range row {
+					row[i] *= inv
+				}
+			}
+			yb := m.Net.BatchForward(xb[:bs*in], bs, scratch)
+			m.batchLoss(yb, mb, tr, dyb, losses, mlus, pool)
+			m.Net.BatchBackward(dyb[:bs*P], bs, scratch)
+			opt.Step(m.Net)
+			for bi := 0; bi < bs; bi++ {
+				sumLoss += losses[bi]
+				sumMLU += mlus[bi]
+			}
+		}
+		opt.LR *= m.Cfg.LRDecay
+		n := float64(len(order))
+		stats.EpochLoss = append(stats.EpochLoss, sumLoss/n)
+		stats.EpochMLU = append(stats.EpochMLU, sumMLU/n)
+	}
+	return stats, nil
+}
+
+// batchLoss evaluates loss, hard-max MLU and dL/dy for every sample of the
+// minibatch, sharding the samples across the lossScratch pool (one worker
+// goroutine per scratch; inline when the pool has a single entry). Sample
+// bi of yb is scored against the revealed demand tr.At(mb[bi]); results
+// land in dyb[bi·P:], losses[bi], mlus[bi], so the output is deterministic
+// regardless of scheduling.
+func (m *Model) batchLoss(yb []float64, mb []int, tr *traffic.Trace, dyb, losses, mlus []float64, pool []*lossScratch) {
+	bs := len(mb)
+	if len(pool) <= 1 {
+		m.scoreSamples(pool[0], yb, mb, tr, dyb, losses, mlus, 0, bs)
+		return
+	}
+	chunk := (bs + len(pool) - 1) / len(pool)
+	var wg sync.WaitGroup
+	for w, ls := range pool {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > bs {
+			hi = bs
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(ls *lossScratch, lo, hi int) {
+			defer wg.Done()
+			m.scoreSamples(ls, yb, mb, tr, dyb, losses, mlus, lo, hi)
+		}(ls, lo, hi)
+	}
+	wg.Wait()
+}
+
+// scoreSamples scores minibatch samples [lo,hi) on one lossScratch worker.
+func (m *Model) scoreSamples(ls *lossScratch, yb []float64, mb []int, tr *traffic.Trace, dyb, losses, mlus []float64, lo, hi int) {
+	P := m.PS.NumPaths()
+	for bi := lo; bi < hi; bi++ {
+		y := yb[bi*P : (bi+1)*P]
+		r := normalizePerPairInto(m.PS, y, ls)
+		loss, mlu, gr := m.lossAndGrad(r, tr.At(mb[bi]), ls)
+		normalizeGradInto(m.PS, gr, ls, dyb[bi*P:(bi+1)*P])
+		losses[bi], mlus[bi] = loss, mlu
+	}
+}
+
+// TrainSequential is the pre-batching reference trainer: per-sample
+// forward/backward with gradient accumulation every Cfg.BatchSize samples.
+// It is retained as the equivalence oracle for Train (identical seeds must
+// produce bitwise-identical loss trajectories) and as the baseline the
+// BenchmarkTrainStep micro-benchmarks compare the batched engine against.
+func (m *Model) TrainSequential(tr *traffic.Trace) (TrainStats, error) {
+	if err := m.fitTrace(tr); err != nil {
+		return TrainStats{}, err
+	}
+	opt := nn.NewAdam(m.Cfg.LR)
+	rng := rand.New(rand.NewSource(m.Cfg.Seed + 1))
+	order := m.sampleOrder(tr)
 	stats := TrainStats{}
 	scratch := newLossScratch(m.PS)
 	batch := m.Cfg.BatchSize
@@ -291,12 +434,16 @@ func (m *Model) normalizedWindow(tr *traffic.Trace, t int) []float64 {
 	return w
 }
 
-// lossScratch holds reusable buffers for loss evaluation.
+// lossScratch holds every reusable buffer one loss-evaluation worker
+// needs; the batched trainer keeps a pool of these so minibatch samples
+// can be scored in parallel without any per-step allocation.
 type lossScratch struct {
 	flows []float64
 	util  []float64
 	w     []float64
 	gr    []float64
+	r     []float64 // per-pair-normalized split ratios
+	sums  []float64 // per-pair raw-output sums (for the backward map)
 }
 
 func newLossScratch(ps *te.PathSet) *lossScratch {
@@ -305,6 +452,59 @@ func newLossScratch(ps *te.PathSet) *lossScratch {
 		util:  make([]float64, ps.G.NumEdges()),
 		w:     make([]float64, ps.G.NumEdges()),
 		gr:    make([]float64, ps.NumPaths()),
+		r:     make([]float64, ps.NumPaths()),
+		sums:  make([]float64, ps.Pairs.Count()),
+	}
+}
+
+// normalizePerPairInto is the allocation-free counterpart of
+// normalizePerPair: it writes the feasible ratios into ls.r (recording the
+// pair sums in ls.sums for normalizeGradInto) and returns ls.r. The math
+// matches normalizePerPair operation for operation.
+func normalizePerPairInto(ps *te.PathSet, y []float64, ls *lossScratch) []float64 {
+	r, sums := ls.r, ls.sums
+	for pi, pp := range ps.PairPaths {
+		var s float64
+		for _, p := range pp {
+			s += y[p]
+		}
+		sums[pi] = s
+		if s < 1e-12 {
+			w := 1 / float64(len(pp))
+			for _, p := range pp {
+				r[p] = w
+			}
+			continue
+		}
+		inv := 1 / s
+		for _, p := range pp {
+			r[p] = y[p] * inv
+		}
+	}
+	return r
+}
+
+// normalizeGradInto maps dL/dr back to dL/dy through the per-pair
+// normalization recorded by the preceding normalizePerPairInto on ls,
+// writing into dy (every entry is set, so dy may hold stale values).
+func normalizeGradInto(ps *te.PathSet, gr []float64, ls *lossScratch, dy []float64) {
+	r, sums := ls.r, ls.sums
+	for pi, pp := range ps.PairPaths {
+		s := sums[pi]
+		if s < 1e-12 {
+			for _, p := range pp {
+				dy[p] = 0 // degenerate pair: no gradient
+			}
+			continue
+		}
+		var mean float64
+		for _, p := range pp {
+			mean += r[p] * gr[p]
+		}
+		inv := 1 / s
+		for _, p := range pp {
+			dy[p] = inv * (gr[p] - mean)
+		}
 	}
 }
 
@@ -317,10 +517,11 @@ func newLossScratch(ps *te.PathSet) *lossScratch {
 // capacity normalized by the topology's minimum edge capacity.
 func (m *Model) lossAndGrad(r, d []float64, s *lossScratch) (loss, mlu float64, gr []float64) {
 	ps := m.PS
+	caps := ps.EdgeCaps()
 	ps.EdgeFlows(d, r, s.flows)
 	maxU := 0.0
 	for e := range s.flows {
-		s.util[e] = s.flows[e] / ps.G.Edge(e).Capacity
+		s.util[e] = s.flows[e] / caps[e]
 		if s.util[e] > maxU {
 			maxU = s.util[e]
 		}
@@ -331,6 +532,8 @@ func (m *Model) lossAndGrad(r, d []float64, s *lossScratch) (loss, mlu float64, 
 	mlu = maxU
 	loss = maxU
 	if maxU > 0 {
+		// Smooth-max weights, pre-divided by edge capacity so the CSR
+		// gradient sweep below is a single multiply-accumulate per edge.
 		beta := m.Cfg.BetaRel / maxU
 		var sumW float64
 		for e := range s.util {
@@ -339,16 +542,17 @@ func (m *Model) lossAndGrad(r, d []float64, s *lossScratch) (loss, mlu float64, 
 		}
 		inv := 1 / sumW
 		for e := range s.w {
-			s.w[e] *= inv
+			s.w[e] = s.w[e] * inv / caps[e]
 		}
-		for p, eids := range ps.EdgeIDs {
+		ids, start := ps.EdgeCSR()
+		for p := range s.gr {
 			dp := d[ps.PairOf[p]]
 			if dp == 0 {
 				continue
 			}
 			var g float64
-			for _, e := range eids {
-				g += s.w[e] * dp / ps.G.Edge(e).Capacity
+			for _, e := range ids[start[p]:start[p+1]] {
+				g += s.w[e] * dp
 			}
 			s.gr[p] = g
 		}

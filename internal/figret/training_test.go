@@ -59,6 +59,61 @@ func TestMinibatchDiffersFromPerSample(t *testing.T) {
 	}
 }
 
+func TestBatchedMatchesSequentialTrajectory(t *testing.T) {
+	// The batched engine must reproduce the sequential per-sample reference
+	// path bitwise for identical seeds: at batch=1 (the paper's per-sample
+	// protocol) and at batch>1 (gradient accumulation). This is the
+	// end-to-end guarantee on top of the nn-level kernel equivalence tests.
+	ps, tr := trainSetup(t)
+	for _, batch := range []int{1, 8} {
+		cfg := Config{H: 4, Epochs: 3, Seed: 9, Gamma: 1, BatchSize: batch}
+		a := New(ps, cfg)
+		b := New(ps, cfg)
+		sa, err := a.Train(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := b.TrainSequential(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := range sa.EpochLoss {
+			if sa.EpochLoss[e] != sb.EpochLoss[e] || sa.EpochMLU[e] != sb.EpochMLU[e] {
+				t.Fatalf("batch=%d epoch %d: batched (%v, %v) != sequential (%v, %v)",
+					batch, e, sa.EpochLoss[e], sa.EpochMLU[e], sb.EpochLoss[e], sb.EpochMLU[e])
+			}
+		}
+		// The trained weights must agree too, not just the reported losses.
+		for li := range a.Net.Layers {
+			for i, w := range a.Net.Layers[li].W {
+				if w != b.Net.Layers[li].W[i] {
+					t.Fatalf("batch=%d layer %d W[%d]: batched %v != sequential %v",
+						batch, li, i, w, b.Net.Layers[li].W[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBatchLargerThanTrace(t *testing.T) {
+	// A batch size exceeding the sample count must clamp, not crash, and
+	// still behave like full-batch training.
+	ps, tr := trainSetup(t)
+	m := New(ps, Config{H: 4, Epochs: 2, Seed: 3, BatchSize: 10000})
+	stats, err := m.Train(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.EpochLoss) != 2 {
+		t.Fatalf("epochs = %d", len(stats.EpochLoss))
+	}
+	for _, v := range stats.EpochLoss {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("full-batch training diverged")
+		}
+	}
+}
+
 func TestCoarseGrainedUniformWeights(t *testing.T) {
 	ps, tr := trainSetup(t)
 	m := New(ps, Config{H: 4, Epochs: 1, Seed: 5, Gamma: 1, CoarseGrained: true})

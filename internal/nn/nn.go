@@ -80,9 +80,13 @@ type Dense struct {
 	GW []float64
 	GB []float64
 
-	// Cached forward state for backprop (single-sample).
-	x []float64 // input
-	y []float64 // post-activation output
+	// Cached forward state for backprop (single-sample path). x is an
+	// owned copy of the input: callers may reuse their input buffer
+	// between Forward and Backward without corrupting gradients.
+	x  []float64 // owned copy of input
+	y  []float64 // post-activation output
+	g  []float64 // owned copy of dL/dy (clobbered by the batch kernel)
+	dx []float64 // reusable dL/dx buffer
 }
 
 // NewDense returns a Dense layer initialized with He initialization (scaled
@@ -114,99 +118,39 @@ func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
 // across goroutines. Chosen so small nets stay single-threaded.
 const parallelThreshold = 1 << 16
 
-// Forward computes the layer output for x, caching state for Backward.
-// The returned slice is owned by the layer and valid until the next call.
+// Forward computes the layer output for x, caching state for Backward. It
+// is a thin wrapper over BatchForward with batch size 1: x is copied into
+// an owned buffer, so the caller may reuse its input buffer between
+// Forward and Backward. The returned slice is owned by the layer and valid
+// until the next call.
 func (d *Dense) Forward(x []float64) []float64 {
 	if len(x) != d.In {
 		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), d.In))
 	}
-	d.x = x
-	if d.y == nil {
+	if d.x == nil {
+		d.x = make([]float64, d.In)
 		d.y = make([]float64, d.Out)
 	}
-	work := d.In * d.Out
-	if work < parallelThreshold {
-		for o := 0; o < d.Out; o++ {
-			d.y[o] = d.Act.apply(dot(d.W[o*d.In:(o+1)*d.In], x) + d.B[o])
-		}
-		return d.y
-	}
-	parallelFor(d.Out, func(lo, hi int) {
-		for o := lo; o < hi; o++ {
-			d.y[o] = d.Act.apply(dot(d.W[o*d.In:(o+1)*d.In], x) + d.B[o])
-		}
-	})
+	copy(d.x, x)
+	d.BatchForward(d.x, d.y, 1)
 	return d.y
 }
 
 // Backward takes dL/dy (post-activation) and accumulates dL/dW, dL/dB into
-// GW, GB; it returns dL/dx. The returned slice is owned by the layer.
+// GW, GB; it returns dL/dx. It is a thin wrapper over BatchBackward with
+// batch size 1; dy is not modified, and the returned slice is owned by the
+// layer (reused across calls — no per-step allocation).
 func (d *Dense) Backward(dy []float64) []float64 {
 	if len(dy) != d.Out {
 		panic(fmt.Sprintf("nn: grad size %d, want %d", len(dy), d.Out))
 	}
-	dx := make([]float64, d.In)
-	if d.In*d.Out < parallelThreshold {
-		for o := 0; o < d.Out; o++ {
-			g := dy[o] * d.Act.derivFromOutput(d.y[o])
-			if g == 0 {
-				continue
-			}
-			d.GB[o] += g
-			row := d.W[o*d.In : (o+1)*d.In]
-			grow := d.GW[o*d.In : (o+1)*d.In]
-			for i, xi := range d.x {
-				grow[i] += g * xi
-				dx[i] += g * row[i]
-			}
-		}
-		return dx
+	if d.g == nil {
+		d.g = make([]float64, d.Out)
+		d.dx = make([]float64, d.In)
 	}
-	// Parallel: shard over output rows, with per-shard dx accumulators
-	// merged afterwards to avoid write contention.
-	nsh := runtime.GOMAXPROCS(0)
-	partial := make([][]float64, nsh)
-	var wg sync.WaitGroup
-	chunk := (d.Out + nsh - 1) / nsh
-	for s := 0; s < nsh; s++ {
-		lo := s * chunk
-		hi := lo + chunk
-		if hi > d.Out {
-			hi = d.Out
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(s, lo, hi int) {
-			defer wg.Done()
-			local := make([]float64, d.In)
-			for o := lo; o < hi; o++ {
-				g := dy[o] * d.Act.derivFromOutput(d.y[o])
-				if g == 0 {
-					continue
-				}
-				d.GB[o] += g
-				row := d.W[o*d.In : (o+1)*d.In]
-				grow := d.GW[o*d.In : (o+1)*d.In]
-				for i, xi := range d.x {
-					grow[i] += g * xi
-					local[i] += g * row[i]
-				}
-			}
-			partial[s] = local
-		}(s, lo, hi)
-	}
-	wg.Wait()
-	for _, local := range partial {
-		if local == nil {
-			continue
-		}
-		for i, v := range local {
-			dx[i] += v
-		}
-	}
-	return dx
+	copy(d.g, dy)
+	d.BatchBackward(d.x, d.y, d.g, d.dx, 1)
+	return d.dx
 }
 
 // ZeroGrads clears accumulated gradients.
@@ -237,6 +181,10 @@ func parallelFor(n int, f func(lo, hi int)) {
 	nsh := runtime.GOMAXPROCS(0)
 	if nsh > n {
 		nsh = n
+	}
+	if nsh <= 1 {
+		f(0, n)
+		return
 	}
 	chunk := (n + nsh - 1) / nsh
 	var wg sync.WaitGroup

@@ -73,6 +73,8 @@ func MinimizeMLU(ps *te.PathSet, d []float64, opt Options) (*te.Config, float64)
 	flows := make([]float64, ps.G.NumEdges())
 	util := make([]float64, ps.G.NumEdges())
 	w := make([]float64, ps.G.NumEdges())
+	edgeIDs, edgeStart := ps.EdgeCSR()
+	caps := ps.EdgeCaps()
 
 	ad := newAdam(P, opt.LR)
 
@@ -84,7 +86,7 @@ func MinimizeMLU(ps *te.PathSet, d []float64, opt Options) (*te.Config, float64)
 		ps.EdgeFlows(d, r, flows)
 		maxU := 0.0
 		for e := range flows {
-			util[e] = flows[e] / ps.G.Edge(e).Capacity
+			util[e] = flows[e] / caps[e]
 			if util[e] > maxU {
 				maxU = util[e]
 			}
@@ -102,7 +104,9 @@ func MinimizeMLU(ps *te.PathSet, d []float64, opt Options) (*te.Config, float64)
 			break // zero demand: any config is optimal
 		}
 
-		// Smooth-max weights: w_e = softmax(beta * util).
+		// Smooth-max weights: w_e = softmax(beta * util), pre-divided by
+		// edge capacity so the per-path gradient loop below is a single
+		// multiply-accumulate over the flat CSR edge list.
 		beta := opt.BetaRel / maxU
 		var sumW float64
 		for e := range util {
@@ -111,20 +115,18 @@ func MinimizeMLU(ps *te.PathSet, d []float64, opt Options) (*te.Config, float64)
 		}
 		inv := 1 / sumW
 		for e := range w {
-			w[e] *= inv
+			w[e] = w[e] * inv / caps[e]
 		}
 		// dL/dr_p = Σ_{e∈p} w_e · d_pair / c_e.
 		for p := range gr {
-			gr[p] = 0
-		}
-		for p, eids := range ps.EdgeIDs {
 			dp := d[ps.PairOf[p]]
 			if dp == 0 {
+				gr[p] = 0
 				continue
 			}
 			var g float64
-			for _, e := range eids {
-				g += w[e] * dp / ps.G.Edge(e).Capacity
+			for _, e := range edgeIDs[edgeStart[p]:edgeStart[p+1]] {
+				g += w[e] * dp
 			}
 			gr[p] = g
 		}

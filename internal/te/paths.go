@@ -3,6 +3,7 @@ package te
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"figret/internal/graph"
 )
@@ -27,6 +28,17 @@ type PathSet struct {
 	Cap []float64
 	// PairPaths[k] lists the path indices serving pair k (ordered by length).
 	PairPaths [][]int
+
+	// Flat CSR mirror of EdgeIDs, built lazily: csrEdges[csrStart[p]:
+	// csrStart[p+1]] are path p's edge ids in one contiguous array. The
+	// hot loops (EdgeFlows, the training loss gradient, the gradient
+	// solver) walk this layout instead of the slice-of-slices, trading
+	// one indirection per path for none and keeping the edge ids dense
+	// in cache. csrCap caches per-edge capacities for the same loops.
+	csrOnce  sync.Once
+	csrEdges []int32
+	csrStart []int32
+	csrCap   []float64
 }
 
 // PathSelector chooses candidate paths for one SD pair.
@@ -79,11 +91,51 @@ func NewPathSet(g *graph.Graph, k int, sel PathSelector) (*PathSet, error) {
 			}
 		}
 	}
+	ps.ensureCSR()
 	return ps, nil
 }
 
 // NumPaths returns the total number of candidate paths.
 func (ps *PathSet) NumPaths() int { return len(ps.Paths) }
+
+// ensureCSR builds the flat edge-incidence layout. It runs eagerly in
+// NewPathSet and lazily (via sync.Once, so still concurrency-safe) for
+// PathSets assembled by hand in tests.
+func (ps *PathSet) ensureCSR() {
+	ps.csrOnce.Do(func() {
+		total := 0
+		for _, eids := range ps.EdgeIDs {
+			total += len(eids)
+		}
+		ps.csrEdges = make([]int32, 0, total)
+		ps.csrStart = make([]int32, len(ps.EdgeIDs)+1)
+		for p, eids := range ps.EdgeIDs {
+			for _, e := range eids {
+				ps.csrEdges = append(ps.csrEdges, int32(e))
+			}
+			ps.csrStart[p+1] = int32(len(ps.csrEdges))
+		}
+		ne := ps.G.NumEdges()
+		ps.csrCap = make([]float64, ne)
+		for e := 0; e < ne; e++ {
+			ps.csrCap[e] = ps.G.Edge(e).Capacity
+		}
+	})
+}
+
+// EdgeCSR returns the flat edge-incidence layout: ids[start[p]:start[p+1]]
+// are the edge indices of path p. Both slices are shared and must not be
+// modified.
+func (ps *PathSet) EdgeCSR() (ids []int32, start []int32) {
+	ps.ensureCSR()
+	return ps.csrEdges, ps.csrStart
+}
+
+// EdgeCaps returns the cached per-edge capacity vector (shared; read-only).
+func (ps *PathSet) EdgeCaps() []float64 {
+	ps.ensureCSR()
+	return ps.csrCap
+}
 
 // MaxPathsPerPair returns the largest candidate set size over all pairs.
 func (ps *PathSet) MaxPathsPerPair() int {
@@ -101,6 +153,7 @@ func (ps *PathSet) MaxPathsPerPair() int {
 // over paths containing e. The result has one entry per directed edge.
 // dst, if non-nil and correctly sized, is reused to avoid allocation.
 func (ps *PathSet) EdgeFlows(d, r []float64, dst []float64) []float64 {
+	ps.ensureCSR()
 	ne := ps.G.NumEdges()
 	if dst == nil || len(dst) != ne {
 		dst = make([]float64, ne)
@@ -109,12 +162,14 @@ func (ps *PathSet) EdgeFlows(d, r []float64, dst []float64) []float64 {
 			dst[i] = 0
 		}
 	}
-	for p, eids := range ps.EdgeIDs {
-		f := d[ps.PairOf[p]] * r[p]
+	ids, start := ps.csrEdges, ps.csrStart
+	pairOf := ps.PairOf
+	for p := range pairOf {
+		f := d[pairOf[p]] * r[p]
 		if f == 0 {
 			continue
 		}
-		for _, e := range eids {
+		for _, e := range ids[start[p]:start[p+1]] {
 			dst[e] += f
 		}
 	}

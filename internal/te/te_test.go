@@ -184,6 +184,89 @@ func TestEdgeFlowsReuseBuffer(t *testing.T) {
 	}
 }
 
+func TestEdgeCSRMatchesEdgeIDs(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Triangle(), graph.GEANT()} {
+		ps, err := NewPathSet(g, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, start := ps.EdgeCSR()
+		if len(start) != ps.NumPaths()+1 {
+			t.Fatalf("start has %d entries for %d paths", len(start), ps.NumPaths())
+		}
+		for p, eids := range ps.EdgeIDs {
+			span := ids[start[p]:start[p+1]]
+			if len(span) != len(eids) {
+				t.Fatalf("path %d: CSR span %d edges, EdgeIDs %d", p, len(span), len(eids))
+			}
+			for i, e := range eids {
+				if int(span[i]) != e {
+					t.Fatalf("path %d edge %d: CSR %d, EdgeIDs %d", p, i, span[i], e)
+				}
+			}
+		}
+		caps := ps.EdgeCaps()
+		for e := 0; e < ps.G.NumEdges(); e++ {
+			if caps[e] != ps.G.Edge(e).Capacity {
+				t.Fatalf("edge %d capacity cache %v, graph %v", e, caps[e], ps.G.Edge(e).Capacity)
+			}
+		}
+	}
+}
+
+func TestEdgeCSRLazyBuild(t *testing.T) {
+	// PathSets assembled by hand (without NewPathSet) must still serve
+	// EdgeFlows via the lazily built CSR.
+	full := trianglePS(t)
+	ps := &PathSet{
+		G: full.G, Pairs: full.Pairs,
+		Paths: full.Paths, PairOf: full.PairOf, EdgeIDs: full.EdgeIDs,
+		Cap: full.Cap, PairPaths: full.PairPaths,
+	}
+	r := make([]float64, ps.NumPaths())
+	d := make([]float64, ps.Pairs.Count())
+	for i := range r {
+		r[i] = 0.5
+	}
+	for i := range d {
+		d[i] = float64(i + 1)
+	}
+	got := ps.EdgeFlows(d, r, nil)
+	want := full.EdgeFlows(d, r, nil)
+	for e := range want {
+		if got[e] != want[e] {
+			t.Fatalf("edge %d: lazy CSR flow %v, eager %v", e, got[e], want[e])
+		}
+	}
+}
+
+func TestEdgeFlowsMatchesNaive(t *testing.T) {
+	ps, err := NewPathSet(graph.GEANT(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	d := make([]float64, ps.Pairs.Count())
+	for i := range d {
+		d[i] = rng.Float64() * 3
+	}
+	cfg := UniformConfig(ps)
+	got := ps.EdgeFlows(d, cfg.R, nil)
+	// Naive slice-of-slices reference.
+	want := make([]float64, ps.G.NumEdges())
+	for p, eids := range ps.EdgeIDs {
+		f := d[ps.PairOf[p]] * cfg.R[p]
+		for _, e := range eids {
+			want[e] += f
+		}
+	}
+	for e := range want {
+		if math.Abs(got[e]-want[e]) > 1e-12 {
+			t.Fatalf("edge %d: CSR flow %v, naive %v", e, got[e], want[e])
+		}
+	}
+}
+
 func TestConfigValidateAndNormalize(t *testing.T) {
 	ps := trianglePS(t)
 	c := NewConfig(ps)

@@ -96,15 +96,25 @@ func (t *Trace) MaxDemand() float64 {
 // (oldest first), the input layout consumed by the history-window models.
 // It panics unless H <= t <= Len().
 func (tr *Trace) Window(t, H int) []float64 {
+	return tr.WindowInto(make([]float64, H*tr.Pairs.Count()), t, H)
+}
+
+// WindowInto is the allocation-free variant of Window: it copies the H
+// snapshots strictly before index t into dst (which must have exactly
+// H·Pairs.Count() entries) and returns dst. The batched training loop uses
+// it to assemble minibatch input rows in place.
+func (tr *Trace) WindowInto(dst []float64, t, H int) []float64 {
 	if t < H || t > tr.Len() {
 		panic(fmt.Sprintf("traffic: window t=%d H=%d len=%d", t, H, tr.Len()))
 	}
 	k := tr.Pairs.Count()
-	out := make([]float64, 0, H*k)
-	for i := t - H; i < t; i++ {
-		out = append(out, tr.Snapshots[i]...)
+	if len(dst) != H*k {
+		panic(fmt.Sprintf("traffic: window dst has %d entries, want %d", len(dst), H*k))
 	}
-	return out
+	for i := 0; i < H; i++ {
+		copy(dst[i*k:(i+1)*k], tr.Snapshots[t-H+i])
+	}
+	return dst
 }
 
 // PeakMatrix returns the entrywise maximum over the last H snapshots before

@@ -66,6 +66,38 @@ func TestWindow(t *testing.T) {
 	tr.Window(1, 2)
 }
 
+func TestWindowInto(t *testing.T) {
+	tr := NewTrace(2)
+	for i := 0; i < 5; i++ {
+		tr.Append([]float64{float64(i), float64(10 * i)})
+	}
+	buf := make([]float64, 4)
+	buf[0] = 99 // stale content must be overwritten
+	got := tr.WindowInto(buf, 3, 2)
+	if &got[0] != &buf[0] {
+		t.Fatal("WindowInto did not reuse dst")
+	}
+	want := tr.Window(3, 2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("WindowInto = %v, Window = %v", got, want)
+		}
+	}
+	for name, fn := range map[string]func(){
+		"bad t":    func() { tr.WindowInto(buf, 1, 2) },
+		"bad size": func() { tr.WindowInto(make([]float64, 3), 3, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 func TestPeakMatrix(t *testing.T) {
 	tr := NewTrace(2)
 	tr.Append([]float64{1, 9})
