@@ -14,10 +14,12 @@ package bench
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
 	"figret/internal/baselines"
+	"figret/internal/eval"
 	"figret/internal/experiments"
 	"figret/internal/figret"
 	"figret/internal/graph"
@@ -48,7 +50,7 @@ func setup(b *testing.B) {
 		if err != nil {
 			panic(err)
 		}
-		torEnv.Solve = torEnv.GradSolve(300)
+		torEnv.UseGradSolver(300)
 		geantPS, err = te.NewPathSet(graph.GEANT(), 3, nil)
 		if err != nil {
 			panic(err)
@@ -468,6 +470,120 @@ func BenchmarkTrainStep(b *testing.B) {
 	b.Run("batch=1", run(1, false))
 	b.Run("batch=8", run(8, false))
 	b.Run("batch=32", run(32, false))
+}
+
+// evalBenchSchemes builds the scheme set for the evaluation-engine
+// benchmarks: PredTE (per-snapshot optimal solves of the preceding
+// demand), Des TE (per-snapshot capped solves of the peak matrix) and a
+// static config — the non-NN slice of a Figure 5 quality run, freshly
+// constructed per iteration exactly as an experiment would.
+func evalBenchSchemes(solve baselines.SolveFunc) []baselines.Scheme {
+	return []baselines.Scheme{
+		&baselines.PredTE{PS: podEnv.PS, Solve: solve},
+		&baselines.DesTE{PS: podEnv.PS, Solve: solve, H: 6},
+		&baselines.FixedScheme{Label: "Uniform", Cfg: te.UniformConfig(podEnv.PS)},
+	}
+}
+
+// BenchmarkEvaluateParallel compares the pre-refactor sequential
+// evaluation path (per-scheme baselines.Evaluate loops, every omniscient
+// solve recomputed, PredTE paying for its own solves) against eval.Run on
+// the same window with a process-lifetime oracle. The engine's win on a
+// quality-style evaluation comes from three stacked effects: (1) the
+// oracle base is memoized across runs, (2) PredTE's solves hit the same
+// cache (its advice for t is the omniscient solve of t-1), and (3) cells
+// evaluate in parallel across however many cores exist. The acceptance
+// bar is engine ≥ 3× legacy at steady state.
+func BenchmarkEvaluateParallel(b *testing.B) {
+	setup(b)
+	from, to := 1, 21
+	b.Run("legacy-sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			omni := &baselines.Omniscient{PS: podEnv.PS, Solve: podEnv.Solve}
+			base, err := baselines.Evaluate(omni, podEnv.Test, from, to)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range evalBenchSchemes(podEnv.Solve) {
+				series, err := baselines.Evaluate(s, podEnv.Test, from, to)
+				if err != nil {
+					b.Fatal(err)
+				}
+				norm := baselines.Normalize(series, base)
+				_ = traffic.Summarize(norm)
+			}
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		orc := eval.NewOracle(podEnv.PS, podEnv.Solve, nil)
+		for i := 0; i < b.N; i++ {
+			res, err := eval.Run(evalBenchSchemes(orc.CachedSolve), podEnv.Test,
+				eval.Window{From: from, To: to},
+				eval.Options{Workers: runtime.NumCPU(), Oracle: orc})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Scheme("Pred TE") == nil {
+				b.Fatal("missing scheme")
+			}
+		}
+		hits, misses := orc.Stats()
+		b.ReportMetric(float64(hits)/float64(hits+misses), "cache-hit-rate")
+	})
+}
+
+// BenchmarkOracleCache isolates the oracle's memoization: a cold Series
+// pays one solve per snapshot, a warm Series is pure cache lookups.
+func BenchmarkOracleCache(b *testing.B) {
+	setup(b)
+	from, to := 1, 21
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			orc := eval.NewOracle(podEnv.PS, podEnv.Solve, nil)
+			if _, err := orc.Series(podEnv.Test, from, to, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		orc := eval.NewOracle(podEnv.PS, podEnv.Solve, nil)
+		if _, err := orc.Series(podEnv.Test, from, to, 1); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := orc.Series(podEnv.Test, from, to, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOracleWarmStart measures the warm-started gradient chain
+// against cold full-budget solves over the same window — the oracle's
+// steady-state advantage on temporally-correlated traces (the LP-free
+// regime, i.e. every ToR-scale topology).
+func BenchmarkOracleWarmStart(b *testing.B) {
+	setup(b)
+	from, to := 1, 21
+	b.Run("cold-fullbudget", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			orc := eval.NewOracle(torEnv.PS, torEnv.Solve, nil)
+			if _, err := orc.Series(torEnv.Test, from, to, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-chain", func(b *testing.B) {
+		warm := baselines.GradWarmSolve(solver.Options{Iters: 150})
+		for i := 0; i < b.N; i++ {
+			orc := eval.NewOracle(torEnv.PS, torEnv.Solve, warm)
+			if _, err := orc.Series(torEnv.Test, from, to, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkEdgeFlowsCSR exercises the flat CSR incidence walk that is the

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"figret/internal/baselines"
 	"figret/internal/experiments"
@@ -22,14 +23,15 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig1 fig2 fig4 fig5 fig6 fig7 fig8 fig18 fig19 table2 table3 table4 table5 appc all")
-		topo   = flag.String("topo", "", "topology (default: per-experiment paper choice)")
-		scale  = flag.String("scale", "fast", "fast|full")
-		T      = flag.Int("T", 0, "trace length (0 = scale default)")
-		H      = flag.Int("H", 0, "history window (0 = default 12)")
-		gamma  = flag.Float64("gamma", 0, "FIGRET robustness weight (0 = default)")
-		epochs = flag.Int("epochs", 0, "training epochs (0 = scale default)")
-		seed   = flag.Int64("seed", 1, "random seed")
+		exp     = flag.String("exp", "all", "experiment: fig1 fig2 fig4 fig5 fig6 fig7 fig8 fig18 fig19 table2 table3 table4 table5 appc all")
+		topo    = flag.String("topo", "", "topology (default: per-experiment paper choice)")
+		scale   = flag.String("scale", "fast", "fast|full")
+		T       = flag.Int("T", 0, "trace length (0 = scale default)")
+		H       = flag.Int("H", 0, "history window (0 = default 12)")
+		gamma   = flag.Float64("gamma", 0, "FIGRET robustness weight (0 = default)")
+		epochs  = flag.Int("epochs", 0, "training epochs (0 = scale default)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", runtime.NumCPU(), "evaluation worker pool size; results are bitwise identical for any worker count")
 	)
 	flag.Parse()
 
@@ -37,7 +39,7 @@ func main() {
 	if *scale == "full" {
 		sc = experiments.ScaleFull
 	}
-	r := runner{scale: sc, T: *T, H: *H, gamma: *gamma, epochs: *epochs, seed: *seed, topo: *topo}
+	r := runner{scale: sc, T: *T, H: *H, gamma: *gamma, epochs: *epochs, seed: *seed, topo: *topo, workers: *workers}
 	if err := r.run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -45,13 +47,14 @@ func main() {
 }
 
 type runner struct {
-	scale  experiments.Scale
-	T      int
-	H      int
-	gamma  float64
-	epochs int
-	seed   int64
-	topo   string
+	scale   experiments.Scale
+	T       int
+	H       int
+	gamma   float64
+	epochs  int
+	seed    int64
+	topo    string
+	workers int
 }
 
 func (r runner) env(defaultTopo string) (*experiments.Env, error) {
@@ -59,7 +62,12 @@ func (r runner) env(defaultTopo string) (*experiments.Env, error) {
 	if topo == "" {
 		topo = defaultTopo
 	}
-	return experiments.NewEnv(topo, r.scale, experiments.EnvOptions{T: r.T, Seed: r.seed})
+	env, err := experiments.NewEnv(topo, r.scale, experiments.EnvOptions{T: r.T, Seed: r.seed})
+	if err != nil {
+		return nil, err
+	}
+	env.Workers = r.workers
+	return env, nil
 }
 
 func (r runner) run(exp string) error {
@@ -83,7 +91,7 @@ func (r runner) run(exp string) error {
 				return err
 			}
 			if env.PS.Pairs.Count() > 200 {
-				env.Solve = env.GradSolve(0)
+				env.UseGradSolver(0)
 			}
 			res, err := experiments.Hedging(env, 40)
 			if err != nil {
@@ -133,7 +141,7 @@ func (r runner) run(exp string) error {
 			small := env.PS.Pairs.Count()+env.G.NumEdges() <= 200
 			opt.WithOblivious = small
 			if !small {
-				env.Solve = env.GradSolve(0)
+				env.UseGradSolver(0)
 			}
 			if env.Topo == graph.TopoToRDB || env.Topo == graph.TopoToRWEB {
 				if opt.Gamma == 0 {
@@ -156,8 +164,9 @@ func (r runner) run(exp string) error {
 			if err != nil {
 				return err
 			}
+			env.Workers = r.workers
 			if env.PS.Pairs.Count()+env.G.NumEdges() > 200 {
-				env.Solve = env.GradSolve(0)
+				env.UseGradSolver(0)
 			}
 			res, err := experiments.TEQuality(env, experiments.QualityOptions{
 				H: r.H, Gamma: r.gamma, Epochs: r.epochs, MaxEval: 30,
@@ -192,7 +201,7 @@ func (r runner) run(exp string) error {
 				return err
 			}
 			if env.PS.Pairs.Count() > 200 {
-				env.Solve = env.GradSolve(0)
+				env.UseGradSolver(0)
 			}
 			g := r.gamma
 			if g == 0 {

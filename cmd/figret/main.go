@@ -18,11 +18,11 @@ import (
 	"os"
 
 	"figret/internal/baselines"
+	"figret/internal/eval"
 	"figret/internal/experiments"
 	"figret/internal/figret"
 	"figret/internal/netsim"
 	"figret/internal/te"
-	"figret/internal/traffic"
 )
 
 func main() {
@@ -181,23 +181,20 @@ func runEval(topo string, sc experiments.Scale, T, H int, seed int64, modelPath 
 	}
 	h := m.Cfg.H
 	scheme := &baselines.NNScheme{Label: "model", Model: m}
-	omni := &baselines.Omniscient{PS: env.PS, Solve: env.Solve}
 	from, to := h, env.Test.Len()
 	if to-from > 40 {
 		to = from + 40
 	}
-	series, err := baselines.Evaluate(scheme, env.Test, from, to)
+	// The engine evaluates snapshots in parallel and normalizes by its
+	// memoized omniscient oracle; results are identical for any -workers.
+	run, err := eval.Run([]baselines.Scheme{scheme}, env.Test,
+		eval.Window{From: from, To: to}, env.EvalOptions())
 	if err != nil {
 		return err
 	}
-	base, err := baselines.Evaluate(omni, env.Test, from, to)
-	if err != nil {
-		return err
-	}
-	norm := baselines.Normalize(series, base)
-	st := traffic.Summarize(norm)
+	ss := run.Scheme("model")
 	fmt.Printf("normalized MLU over %d test snapshots: avg %.3f median %.3f p75 %.3f max %.3f\n",
-		len(norm), st.Mean, st.Median, st.P75, st.Max)
+		len(ss.Norm), ss.Stats.Mean, ss.Stats.Median, ss.Stats.P75, ss.Stats.Max)
 	return nil
 }
 

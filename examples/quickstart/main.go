@@ -9,6 +9,7 @@ import (
 	"log"
 
 	"figret/internal/baselines"
+	"figret/internal/eval"
 	"figret/internal/figret"
 	"figret/internal/graph"
 	"figret/internal/te"
@@ -44,20 +45,18 @@ func main() {
 	fmt.Printf("training MLU: %.4f (epoch 1) -> %.4f (epoch %d)\n",
 		stats.EpochMLU[0], stats.EpochMLU[len(stats.EpochMLU)-1], len(stats.EpochMLU))
 
-	// 5. Evaluate on unseen snapshots against the omniscient LP oracle.
+	// 5. Evaluate on unseen snapshots with the parallel evaluation engine:
+	// snapshots are scored concurrently and normalized by the engine's
+	// memoized omniscient oracle.
 	scheme := &baselines.NNScheme{Label: "FIGRET", Model: model}
-	omni := &baselines.Omniscient{PS: ps, Solve: baselines.AutoSolve(ps)}
-	series, err := baselines.Evaluate(scheme, test, 6, test.Len())
+	oracle := eval.NewOracle(ps, baselines.AutoSolve(ps), nil)
+	run, err := eval.Run([]baselines.Scheme{scheme}, test,
+		eval.Window{From: 6, To: test.Len()}, eval.Options{Oracle: oracle})
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := baselines.Evaluate(omni, test, 6, test.Len())
-	if err != nil {
-		log.Fatal(err)
-	}
-	norm := baselines.Normalize(series, base)
-	st := traffic.Summarize(norm)
+	st := run.Scheme("FIGRET").Stats
 	fmt.Printf("normalized MLU on %d test snapshots: median %.3f, p75 %.3f, max %.3f\n",
-		len(norm), st.Median, st.P75, st.Max)
+		len(run.Scheme("FIGRET").Norm), st.Median, st.P75, st.Max)
 	fmt.Println("(1.0 = the oracle that knows future demands)")
 }

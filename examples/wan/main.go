@@ -10,6 +10,7 @@ import (
 	"log"
 
 	"figret/internal/baselines"
+	"figret/internal/eval"
 	"figret/internal/figret"
 	"figret/internal/graph"
 	"figret/internal/solver"
@@ -46,27 +47,24 @@ func main() {
 	}
 
 	// Per-snapshot solvers are the gradient kind to keep the demo fast.
+	// The oracle memoizes them and warm-starts consecutive snapshots;
+	// PredTE reuses the oracle's cache (its advice for t is the omniscient
+	// solve of t-1), and the engine evaluates every (scheme × snapshot)
+	// cell in parallel.
 	solve := baselines.GradSolve(solver.Options{Iters: 300})
+	oracle := eval.NewOracle(ps, solve, baselines.GradWarmSolve(solver.Options{Iters: 120}))
 	schemes := []baselines.Scheme{
-		&baselines.PredTE{PS: ps, Solve: solve}, // "no hedging"
-		&baselines.DesTE{PS: ps, Solve: solve},  // Jupiter hedging
+		&baselines.PredTE{PS: ps, Solve: oracle.CachedSolve}, // "no hedging"
+		&baselines.DesTE{PS: ps, Solve: solve},               // Jupiter hedging
 		&baselines.NNScheme{Label: "FIGRET", Model: model},
 	}
-	omni := &baselines.Omniscient{PS: ps, Solve: solve}
-	from, to := 6, 36
-	base, err := baselines.Evaluate(omni, test, from, to)
+	run, err := eval.Run(schemes, test, eval.Window{From: 6, To: 36}, eval.Options{Oracle: oracle})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-10s %8s %8s %8s\n", "scheme", "median", "p75", "max")
-	for _, s := range schemes {
-		series, err := baselines.Evaluate(s, test, from, to)
-		if err != nil {
-			log.Fatal(err)
-		}
-		n := baselines.Normalize(series, base)
-		st := traffic.Summarize(n)
-		fmt.Printf("%-10s %8.3f %8.3f %8.3f\n", s.Name(), st.Median, st.P75, st.Max)
+	for _, ss := range run.Schemes {
+		fmt.Printf("%-10s %8.3f %8.3f %8.3f\n", ss.Name, ss.Stats.Median, ss.Stats.P75, ss.Stats.Max)
 	}
 	fmt.Println("expected: no-hedging has the lowest median but the highest peak;")
 	fmt.Println("FIGRET holds the median while trimming the burst peak")

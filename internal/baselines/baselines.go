@@ -9,6 +9,7 @@ package baselines
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"figret/internal/figret"
 	"figret/internal/lp"
@@ -38,6 +39,24 @@ func GradSolve(opt solver.Options) SolveFunc {
 	}
 }
 
+// WarmSolveFunc computes a (near-)MLU-optimal configuration for demand d
+// starting from the split ratios initR (typically the previous snapshot's
+// optimum). The evaluation engine's oracle uses it to cut solver
+// iterations on temporally-correlated traces.
+type WarmSolveFunc func(ps *te.PathSet, d, initR []float64) (*te.Config, float64, error)
+
+// GradWarmSolve returns a WarmSolveFunc backed by the projected-gradient
+// solver's warm-start entry point; opt.Iters should be well below the cold
+// solve's budget (warm starts converge in a fraction of the iterations).
+func GradWarmSolve(opt solver.Options) WarmSolveFunc {
+	return func(ps *te.PathSet, d, initR []float64) (*te.Config, float64, error) {
+		o := opt
+		o.InitR = initR
+		cfg, obj := solver.MinimizeMLU(ps, d, o)
+		return cfg, obj, nil
+	}
+}
+
 // AutoSolve picks LPSolve for instances small enough for dense simplex and
 // GradSolve otherwise, mirroring the scalability split the paper reports.
 func AutoSolve(ps *te.PathSet) SolveFunc {
@@ -52,6 +71,12 @@ func AutoSolve(ps *te.PathSet) SolveFunc {
 // Scheme is a TE scheme under the paper's evaluation protocol: at snapshot
 // t it must produce a configuration using only information available before
 // D_t arrives (except Omniscient, the oracle).
+//
+// Concurrency contract: Advise must be safe for concurrent use and must be
+// a pure function of (tr, t) — the parallel evaluation engine
+// (internal/eval) issues Advise calls for many snapshots at once and relies
+// on both properties for worker-count-independent results. Every scheme in
+// this package satisfies the contract.
 type Scheme interface {
 	Name() string
 	// Warmup is the first snapshot index the scheme can advise on.
@@ -114,7 +139,8 @@ type DesTE struct {
 	Bound float64
 	Solve SolveFunc
 
-	caps []float64
+	capsOnce sync.Once
+	caps     []float64
 }
 
 // Name implements Scheme.
@@ -141,9 +167,9 @@ func (d *DesTE) Advise(tr *traffic.Trace, t int) (*te.Config, error) {
 		return nil, fmt.Errorf("baselines: DesTE needs t >= 1")
 	}
 	h, bound := d.params()
-	if d.caps == nil {
+	d.capsOnce.Do(func() {
 		d.caps = lp.SensitivityCaps(d.PS, lp.ConstantF(bound))
-	}
+	})
 	peak := tr.PeakMatrix(t, h)
 	cfg, _, err := d.Solve(d.PS, peak, d.caps)
 	return cfg, err
@@ -162,7 +188,8 @@ type FineGrainedDesTE struct {
 	Label string
 	Solve SolveFunc
 
-	caps []float64
+	capsOnce sync.Once
+	caps     []float64
 }
 
 // Name implements Scheme.
@@ -185,19 +212,23 @@ func (d *FineGrainedDesTE) Advise(tr *traffic.Trace, t int) (*te.Config, error) 
 	if h == 0 {
 		h = 12
 	}
-	if d.caps == nil {
+	d.capsOnce.Do(func() {
 		d.caps = lp.SensitivityCaps(d.PS, d.F)
-	}
+	})
 	peak := tr.PeakMatrix(t, h)
 	cfg, _, err := d.Solve(d.PS, peak, d.caps)
 	return cfg, err
 }
 
 // NNScheme adapts a trained figret.Model (FIGRET, DOTE, or TEAL-like) to the
-// Scheme interface.
+// Scheme interface. Advise is safe for concurrent use: inference runs on a
+// pool of goroutine-confined figret.Predictor contexts, whose outputs are
+// bitwise identical to Model.PredictAt.
 type NNScheme struct {
 	Label string
 	Model *figret.Model
+
+	pool sync.Pool // of *figret.Predictor
 }
 
 // Name implements Scheme.
@@ -208,7 +239,12 @@ func (s *NNScheme) Warmup() int { return s.Model.Cfg.H }
 
 // Advise implements Scheme.
 func (s *NNScheme) Advise(tr *traffic.Trace, t int) (*te.Config, error) {
-	return s.Model.PredictAt(tr, t)
+	p, _ := s.pool.Get().(*figret.Predictor)
+	if p == nil {
+		p = s.Model.NewPredictor()
+	}
+	defer s.pool.Put(p)
+	return p.PredictAt(tr, t)
 }
 
 // FixedScheme wraps a precomputed static configuration (Oblivious, COPE).
@@ -228,12 +264,21 @@ func (f *FixedScheme) Advise(*traffic.Trace, int) (*te.Config, error) {
 	return f.Cfg, nil
 }
 
-// Evaluate runs a scheme over the test snapshots [from, to) of tr and
-// returns one MLU per snapshot. Callers normalize by the Omniscient series
-// to obtain the paper's normalized MLU.
+// Evaluate runs a scheme sequentially over the test snapshots [from, to)
+// of tr and returns one MLU per snapshot. Callers normalize by the
+// Omniscient series to obtain the paper's normalized MLU.
+//
+// The scheme must be able to advise on every requested snapshot: if
+// s.Warmup() exceeds from, Evaluate returns an explicit error instead of
+// silently starting late — the historical clamping behavior returned a
+// shorter series whose indices were shifted relative to any base series
+// evaluated over the same [from, to), corrupting Normalize results.
+// internal/eval.Run aligns windows per scheme (and evaluates in parallel);
+// prefer it for multi-scheme comparisons.
 func Evaluate(s Scheme, tr *traffic.Trace, from, to int) ([]float64, error) {
 	if from < s.Warmup() {
-		from = s.Warmup()
+		return nil, fmt.Errorf("baselines: %s warmup %d exceeds evaluation start %d (use eval.Run for per-scheme window alignment)",
+			s.Name(), s.Warmup(), from)
 	}
 	if to > tr.Len() {
 		to = tr.Len()
@@ -253,8 +298,15 @@ func Evaluate(s Scheme, tr *traffic.Trace, from, to int) ([]float64, error) {
 }
 
 // Normalize divides each entry of series by the matching entry of base,
-// guarding against division by zero.
+// guarding against division by zero: a zero base entry maps a zero series
+// entry to 1 (both schemes idle) and a positive one to +Inf. The series
+// may be shorter than the base, in which case the extra base entries are
+// ignored — entry i of the series must correspond to entry i of the base
+// (aligned starts); it must not be longer.
 func Normalize(series, base []float64) []float64 {
+	if len(series) > len(base) {
+		panic(fmt.Sprintf("baselines: series length %d exceeds base length %d", len(series), len(base)))
+	}
 	out := make([]float64, len(series))
 	for i := range series {
 		if base[i] > 0 {

@@ -387,6 +387,52 @@ func TestEvaluateRangeErrors(t *testing.T) {
 	}
 }
 
+func TestEvaluateRejectsWarmupShift(t *testing.T) {
+	// The legacy clamping silently returned a shorter, index-shifted
+	// series when the scheme's warmup exceeded the requested start —
+	// misaligning it against any base series over the same window. The
+	// legacy path must now refuse instead.
+	ps, tr := setup(t)
+	pred := &PredTE{PS: ps, Solve: LPSolve} // warmup 1
+	if _, err := Evaluate(pred, tr, 0, 10); err == nil {
+		t.Fatal("warmup > from accepted; series would be index-shifted")
+	}
+	series, err := Evaluate(pred, tr, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 9 {
+		t.Errorf("got %d MLUs, want 9", len(series))
+	}
+}
+
+func TestNormalizeEdgeCases(t *testing.T) {
+	// Zero base entries: 0/0 is defined as 1 (both idle), x/0 as +Inf.
+	n := Normalize([]float64{0, 3, 2}, []float64{0, 0, 4})
+	if n[0] != 1 {
+		t.Errorf("0/0 = %v, want 1", n[0])
+	}
+	if !math.IsInf(n[1], 1) {
+		t.Errorf("3/0 = %v, want +Inf", n[1])
+	}
+	if n[2] != 0.5 {
+		t.Errorf("2/4 = %v, want 0.5", n[2])
+	}
+	// A shorter series normalizes against the base prefix.
+	n = Normalize([]float64{2, 2}, []float64{1, 2, 4})
+	if n[0] != 2 || n[1] != 1 {
+		t.Errorf("prefix normalization = %v, want [2 1]", n)
+	}
+	// A series longer than its base cannot be aligned; that must panic
+	// rather than read out of bounds or silently truncate.
+	defer func() {
+		if recover() == nil {
+			t.Error("series longer than base accepted")
+		}
+	}()
+	Normalize([]float64{1, 2}, []float64{1})
+}
+
 func TestNNSchemeWithFigret(t *testing.T) {
 	ps, tr := setup(t)
 	train, test := tr.Split(0.75)
@@ -398,11 +444,16 @@ func TestNNSchemeWithFigret(t *testing.T) {
 	if s.Warmup() != 4 {
 		t.Errorf("warmup = %d", s.Warmup())
 	}
-	mlus, err := Evaluate(s, test, 0, 12)
+	// Starting before the warmup is an explicit error now (the engine
+	// aligns windows per scheme; the legacy path refuses to shift).
+	if _, err := Evaluate(s, test, 0, 12); err == nil {
+		t.Error("warmup > from accepted")
+	}
+	mlus, err := Evaluate(s, test, 4, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(mlus) != 8 { // warmup pushes start to 4
+	if len(mlus) != 8 {
 		t.Errorf("got %d MLUs, want 8", len(mlus))
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"figret/internal/baselines"
+	"figret/internal/eval"
 	"figret/internal/lp"
 	"figret/internal/traffic"
 )
@@ -97,18 +98,16 @@ func HeuristicF(env *Env, kind string, maxEval int) (*HeuristicFResult, error) {
 	if to-from > maxEval {
 		to = from + maxEval
 	}
-	omni := &baselines.Omniscient{PS: env.PS, Solve: env.Solve}
-	base, err := baselines.Evaluate(omni, env.Test, from, to)
+	schemes := make([]baselines.Scheme, len(params))
+	for i, p := range params {
+		schemes[i] = &baselines.FineGrainedDesTE{PS: env.PS, Solve: env.Oracle().CachedSolve, H: 12, F: p.f, Label: p.label}
+	}
+	run, err := eval.Run(schemes, env.Test, eval.Window{From: from, To: to}, env.EvalOptions())
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range params {
-		scheme := &baselines.FineGrainedDesTE{PS: env.PS, Solve: env.Solve, H: 12, F: p.f, Label: p.label}
-		series, err := baselines.Evaluate(scheme, env.Test, from, to)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.label, err)
-		}
-		norm := baselines.Normalize(series, base)
+	for _, ss := range run.Schemes {
+		norm := ss.Norm
 		p75 := traffic.Quantile(norm, 0.75)
 		var sum float64
 		var n int
@@ -123,7 +122,7 @@ func HeuristicF(env *Env, kind string, maxEval int) (*HeuristicFResult, error) {
 			}
 		}
 		res.Entries = append(res.Entries, HeuristicFEntry{
-			Label:      p.label,
+			Label:      ss.Name,
 			NormalCase: sum / float64(n),
 			Peak:       peak,
 		})

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"figret/internal/baselines"
+	"figret/internal/eval"
 	"figret/internal/figret"
 	"figret/internal/graph"
 	"figret/internal/solver"
@@ -51,6 +52,60 @@ type Env struct {
 	// TestStart is Test's offset within Trace (snapshots before it are
 	// training history usable for window warmup).
 	TestStart int
+	// Workers sizes the evaluation engine's worker pool (0 selects
+	// runtime.NumCPU()); results are bitwise identical for any value.
+	Workers int
+	// WarmIters, when positive, enables warm-started oracle solves with
+	// this iteration budget (set by UseGradSolver; meaningless for the
+	// exact LP).
+	WarmIters int
+
+	oracle *eval.Oracle
+}
+
+// Oracle returns the environment's shared omniscient-solve cache. Every
+// experiment on this environment shares the cache, so the omniscient base
+// for a window is solved once per process. The oracle's cold solve
+// delegates to the CURRENT e.Solve on every call, so reassigning Solve
+// after the oracle exists affects future solves — but entries already
+// cached were computed by the previous solver; switch solvers with
+// UseGradSolver (which resets the cache) rather than reassigning Solve
+// mid-run.
+func (e *Env) Oracle() *eval.Oracle {
+	if e.oracle == nil {
+		var warm baselines.WarmSolveFunc
+		if e.WarmIters > 0 {
+			warm = baselines.GradWarmSolve(solver.Options{Iters: e.WarmIters})
+		}
+		cold := func(ps *te.PathSet, d, caps []float64) (*te.Config, float64, error) {
+			return e.Solve(ps, d, caps)
+		}
+		e.oracle = eval.NewOracle(e.PS, cold, warm)
+	}
+	return e.oracle
+}
+
+// EvalOptions returns the engine options every experiment on this
+// environment shares: its worker pool size and its oracle.
+func (e *Env) EvalOptions() eval.Options {
+	return eval.Options{Workers: e.Workers, Oracle: e.Oracle()}
+}
+
+// UseGradSolver switches per-snapshot solves to the projected-gradient
+// solver (iters 0 → 300) — the LP substitute at scales where dense
+// simplex would dominate runtime — and enables warm-started oracle solves
+// at a reduced iteration budget. It resets the oracle, so call it before
+// running experiments.
+func (e *Env) UseGradSolver(iters int) {
+	if iters == 0 {
+		iters = 300
+	}
+	e.Solve = baselines.GradSolve(solver.Options{Iters: iters})
+	e.WarmIters = iters / 2
+	if e.WarmIters < 100 {
+		e.WarmIters = 100
+	}
+	e.oracle = nil
 }
 
 // fastGraph returns the reduced-size counterpart of a named topology.

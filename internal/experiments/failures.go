@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"figret/internal/baselines"
+	"figret/internal/eval"
 	"figret/internal/lp"
 	"figret/internal/te"
 	"figret/internal/traffic"
@@ -55,12 +56,29 @@ func Failures(env *Env, opt FailureOptions) (*FailureResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	des := &baselines.DesTE{PS: env.PS, Solve: env.Solve, H: opt.H}
+	// Concurrency-safe advisors for the parallel cells below: NNScheme
+	// pools goroutine-confined predictors, DesTE computes its caps once.
+	// DesTE routes through the oracle cache — its advice depends only on
+	// t, and the same t recurs across failure sets and failure counts, so
+	// each capped peak-matrix solve is paid once.
+	figS := &baselines.NNScheme{Label: "FIGRET", Model: fig}
+	doteS := &baselines.NNScheme{Label: "DOTE", Model: dote}
+	des := &baselines.DesTE{PS: env.PS, Solve: env.Oracle().CachedSolve, H: opt.H}
+	faCaps := lp.SensitivityCaps(env.PS, lp.ConstantF(2.0/3.0))
 	rng := rand.New(rand.NewSource(env.Seed + 77))
 
+	// Failure sets are drawn sequentially up front (the rng is a chain),
+	// then every (failure-set × snapshot) cell runs on the engine's worker
+	// pool. Cells write only their own slot, so aggregation order — and
+	// with it every reported statistic — is worker-count independent.
+	schemeNames := []string{"FIGRET", "DOTE", "Des TE", "FA Des TE"}
+	type cell struct {
+		fs *te.FailureSet
+		t  int
+	}
 	res := &FailureResult{Topo: env.Topo}
 	for nf := 1; nf <= opt.MaxFail; nf++ {
-		agg := map[string][]float64{}
+		var cells []cell
 		for trial := 0; trial < opt.Trials; trial++ {
 			fs, ok := sampleFailures(env.PS, rng, nf)
 			if !ok {
@@ -68,45 +86,72 @@ func Failures(env *Env, opt FailureOptions) (*FailureResult, error) {
 			}
 			for s := 0; s < opt.SnapsPer; s++ {
 				t := opt.H + (trial*opt.SnapsPer+s)%(env.Test.Len()-opt.H)
-				d := env.Test.At(t)
-				// Oracle: fault-aware omniscient.
-				_, oracle, err := lp.FaultAwareMLUMin(env.PS, d, fs, nil)
-				if err != nil || oracle <= 0 {
+				cells = append(cells, cell{fs, t})
+			}
+		}
+		type cellResult struct {
+			ok   bool // fault-aware oracle solved and positive
+			faOK bool
+			vals [4]float64 // normalized MLU per schemeNames entry
+		}
+		results := make([]cellResult, len(cells))
+		err := eval.Parallel(len(cells), env.Workers, func(i int) error {
+			c := cells[i]
+			d := env.Test.At(c.t)
+			// Oracle: fault-aware omniscient.
+			_, oracle, err := lp.FaultAwareMLUMin(env.PS, d, c.fs, nil)
+			if err != nil || oracle <= 0 {
+				return nil // infeasible draw: skip the cell
+			}
+			// FIGRET / DOTE / Des TE: advise then reroute around failures.
+			fc, err := figS.Advise(env.Test, c.t)
+			if err != nil {
+				return err
+			}
+			dc, err := doteS.Advise(env.Test, c.t)
+			if err != nil {
+				return err
+			}
+			sc, err := des.Advise(env.Test, c.t)
+			if err != nil {
+				return err
+			}
+			r := cellResult{ok: true}
+			r.vals[0] = te.MLUUnderFailure(fc, c.fs, d) / oracle
+			r.vals[1] = te.MLUUnderFailure(dc, c.fs, d) / oracle
+			r.vals[2] = te.MLUUnderFailure(sc, c.fs, d) / oracle
+			// FA Des TE: knows the failures, solves only over alive paths
+			// (with hedging caps) for the peak matrix.
+			peak := env.Test.PeakMatrix(c.t, opt.H)
+			fa, _, err := lp.FaultAwareMLUMin(env.PS, peak, c.fs, faCaps)
+			if err != nil {
+				// Caps may be infeasible after failures; retry uncapped.
+				fa, _, err = lp.FaultAwareMLUMin(env.PS, peak, c.fs, nil)
+			}
+			if err == nil {
+				r.faOK = true
+				r.vals[3] = fa.MLU(d) / oracle
+			}
+			results[i] = r
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		agg := map[string][]float64{}
+		for _, r := range results {
+			if !r.ok {
+				continue
+			}
+			for vi, name := range schemeNames {
+				if vi == 3 && !r.faOK {
 					continue
 				}
-				// FIGRET / DOTE: predict then reroute.
-				fc, err := fig.PredictAt(env.Test, t)
-				if err != nil {
-					return nil, err
-				}
-				dc, err := dote.PredictAt(env.Test, t)
-				if err != nil {
-					return nil, err
-				}
-				sc, err := des.Advise(env.Test, t)
-				if err != nil {
-					return nil, err
-				}
-				agg["FIGRET"] = append(agg["FIGRET"], te.MLUUnderFailure(fc, fs, d)/oracle)
-				agg["DOTE"] = append(agg["DOTE"], te.MLUUnderFailure(dc, fs, d)/oracle)
-				agg["Des TE"] = append(agg["Des TE"], te.MLUUnderFailure(sc, fs, d)/oracle)
-				// FA Des TE: knows the failures, solves only over alive paths
-				// (with hedging caps) for the peak matrix.
-				peak := env.Test.PeakMatrix(t, opt.H)
-				caps := lp.SensitivityCaps(env.PS, lp.ConstantF(2.0/3.0))
-				fa, _, err := lp.FaultAwareMLUMin(env.PS, peak, fs, caps)
-				if err != nil {
-					// Caps may be infeasible after failures; retry uncapped.
-					fa, _, err = lp.FaultAwareMLUMin(env.PS, peak, fs, nil)
-					if err != nil {
-						continue
-					}
-				}
-				agg["FA Des TE"] = append(agg["FA Des TE"], fa.MLU(d)/oracle)
+				agg[name] = append(agg[name], r.vals[vi])
 			}
 		}
 		row := FailureRow{Failures: nf}
-		for _, name := range []string{"FIGRET", "DOTE", "Des TE", "FA Des TE"} {
+		for _, name := range schemeNames {
 			xs := agg[name]
 			if len(xs) == 0 {
 				continue

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"figret/internal/eval"
 	"figret/internal/graph"
 	"figret/internal/lp"
 	"figret/internal/te"
@@ -64,18 +65,23 @@ func PredictionMismatch() (*MismatchResult, error) {
 		return d
 	}
 	real := demand(res.Real[0], res.Real[1])
-	for i, pred := range [][2]float64{res.PredA, res.PredB} {
-		cfg, _, err := lp.MLUMin(ps, demand(pred[0], pred[1]))
+	// The two predictions' solves are independent cells on the engine's
+	// worker-pool primitive: each writes only its own slot, so the worked
+	// example is as deterministic as the big studies.
+	preds := [][2]float64{res.PredA, res.PredB}
+	mlus := make([]float64, len(preds))
+	err = eval.Parallel(len(preds), 0, func(i int) error {
+		cfg, _, err := lp.MLUMin(ps, demand(preds[i][0], preds[i][1]))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		m := cfg.MLU(real)
-		if i == 0 {
-			res.MLUA = m
-		} else {
-			res.MLUB = m
-		}
+		mlus[i] = cfg.MLU(real)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.MLUA, res.MLUB = mlus[0], mlus[1]
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"figret/internal/baselines"
+	"figret/internal/eval"
 	"figret/internal/traffic"
 )
 
@@ -61,11 +62,15 @@ func TEQuality(env *Env, opt QualityOptions) (*QualityResult, error) {
 		return nil, err
 	}
 
+	// Solver-backed schemes route through the oracle cache: PredTE's
+	// advice for snapshot t is the omniscient solve of snapshot t-1 — free
+	// once the engine has computed the normalization base — and Des TE's
+	// capped peak-matrix solves are shared across repeated runs.
 	schemes := []baselines.Scheme{
 		&baselines.NNScheme{Label: "FIGRET", Model: fig},
 		&baselines.NNScheme{Label: "DOTE", Model: dote},
-		&baselines.DesTE{PS: env.PS, Solve: env.Solve, H: opt.H},
-		&baselines.PredTE{PS: env.PS, Solve: env.Solve},
+		&baselines.DesTE{PS: env.PS, Solve: env.Oracle().CachedSolve, H: opt.H},
+		&baselines.PredTE{PS: env.PS, Solve: env.Oracle().CachedSolve},
 		&baselines.NNScheme{Label: "TEAL", Model: teal},
 	}
 	if opt.WithOblivious {
@@ -89,31 +94,19 @@ func TEQuality(env *Env, opt QualityOptions) (*QualityResult, error) {
 	if to-from > opt.MaxEval {
 		to = from + opt.MaxEval
 	}
-	omni := &baselines.Omniscient{PS: env.PS, Solve: env.Solve}
-	base, err := baselines.Evaluate(omni, env.Test, from, to)
+	run, err := eval.Run(schemes, env.Test, eval.Window{From: from, To: to}, env.EvalOptions())
 	if err != nil {
 		return nil, err
 	}
 
-	res := &QualityResult{Topo: env.Topo, N: len(base)}
-	for _, s := range schemes {
-		series, err := baselines.Evaluate(s, env.Test, from, to)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name(), err)
-		}
-		norm := baselines.Normalize(series, base)
-		st := SchemeStats{Name: s.Name(), Stats: traffic.Summarize(norm)}
-		severe := 0
-		sum := 0.0
-		for _, v := range norm {
-			if v > 2 {
-				severe++
-			}
-			sum += v
-		}
-		st.SevereCongestion = float64(severe) / float64(len(norm))
-		st.AvgMLU = sum / float64(len(norm))
-		res.Schemes = append(res.Schemes, st)
+	res := &QualityResult{Topo: env.Topo, N: len(run.Base)}
+	for _, ss := range run.Schemes {
+		res.Schemes = append(res.Schemes, SchemeStats{
+			Name:             ss.Name,
+			Stats:            ss.Stats,
+			SevereCongestion: ss.SevereCongestion,
+			AvgMLU:           ss.AvgNorm,
+		})
 	}
 	return res, nil
 }
@@ -173,16 +166,16 @@ func Hedging(env *Env, maxEval int) (*HedgingResult, error) {
 	if to-from > maxEval {
 		to = from + maxEval
 	}
-	noHedge := &baselines.PredTE{PS: env.PS, Solve: env.Solve}
-	hedge := &baselines.DesTE{PS: env.PS, Solve: env.Solve, H: 12}
-	a, err := baselines.Evaluate(noHedge, env.Test, from, to)
+	noHedge := &baselines.PredTE{PS: env.PS, Solve: env.Oracle().CachedSolve}
+	hedge := &baselines.DesTE{PS: env.PS, Solve: env.Oracle().CachedSolve, H: 12}
+	// Raw MLUs only (the figure normalizes by the series max itself), so
+	// the engine runs without an oracle base.
+	run, err := eval.Run([]baselines.Scheme{noHedge, hedge}, env.Test,
+		eval.Window{From: from, To: to}, eval.Options{Workers: env.Workers})
 	if err != nil {
 		return nil, err
 	}
-	h, err := baselines.Evaluate(hedge, env.Test, from, to)
-	if err != nil {
-		return nil, err
-	}
+	a, h := run.Schemes[0].Raw, run.Schemes[1].Raw
 	mx := 0.0
 	for i := range a {
 		mx = math.Max(mx, math.Max(a[i], h[i]))

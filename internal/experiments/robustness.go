@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"figret/internal/baselines"
+	"figret/internal/eval"
 	"figret/internal/figret"
 	"figret/internal/traffic"
 )
@@ -37,7 +39,7 @@ func Perturbation(env *Env, h int, gamma float64, epochs int, alphas []float64, 
 	if err != nil {
 		return nil, err
 	}
-	baseAvg, baseP90, err := evalModel(fig, env.Test, h)
+	baseAvg, baseP90, err := evalModel(fig, env.Test, h, env.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +52,7 @@ func Perturbation(env *Env, h int, gamma float64, epochs int, alphas []float64, 
 		} else {
 			pert = traffic.Perturb(env.Test, env.Train, a, env.Seed+int64(100+i))
 		}
-		avg, p90, err := evalModel(fig, pert, h)
+		avg, p90, err := evalModel(fig, pert, h, env.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -60,24 +62,20 @@ func Perturbation(env *Env, h int, gamma float64, epochs int, alphas []float64, 
 	return res, nil
 }
 
-// evalModel runs a trained model over a trace and returns (mean, p90) MLU.
-func evalModel(m *figret.Model, tr *traffic.Trace, h int) (avg, p90 float64, err error) {
-	var series []float64
-	for t := h; t < tr.Len(); t++ {
-		cfg, err := m.PredictAt(tr, t)
-		if err != nil {
-			return 0, 0, err
-		}
-		series = append(series, cfg.MLU(tr.At(t)))
-	}
-	if len(series) == 0 {
+// evalModel runs a trained model over a trace on the evaluation engine
+// (raw MLUs, snapshots in parallel) and returns (mean, p90) MLU.
+func evalModel(m *figret.Model, tr *traffic.Trace, h, workers int) (avg, p90 float64, err error) {
+	if tr.Len() <= h {
 		return 0, 0, fmt.Errorf("experiments: no snapshots to evaluate")
 	}
-	sum := 0.0
-	for _, v := range series {
-		sum += v
+	run, err := eval.Run(
+		[]baselines.Scheme{&baselines.NNScheme{Label: "model", Model: m}},
+		tr, eval.Window{From: h, To: tr.Len()}, eval.Options{Workers: workers})
+	if err != nil {
+		return 0, 0, err
 	}
-	return sum / float64(len(series)), traffic.Quantile(series, 0.9), nil
+	avg, p90 = eval.MeanQuantile(run.Schemes[0].Raw, 0.9)
+	return avg, p90, nil
 }
 
 // String renders the table.
@@ -143,7 +141,7 @@ func Drift(env *Env, h int, gamma float64, epochs int) (*DriftResult, error) {
 		if _, err := m.Train(env.Trace.Slice(sg.from, sg.to)); err != nil {
 			return nil, fmt.Errorf("segment %s: %w", sg.name, err)
 		}
-		avg, p90, err := evalModel(m, test, h)
+		avg, p90, err := evalModel(m, test, h, env.Workers)
 		if err != nil {
 			return nil, err
 		}

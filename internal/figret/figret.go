@@ -424,6 +424,66 @@ func (m *Model) PredictAt(tr *traffic.Trace, t int) (*te.Config, error) {
 	return m.Predict(tr.Window(t, m.Cfg.H))
 }
 
+// Predictor is a goroutine-confined inference context for a Model. The
+// Model's own Forward path caches activations inside the network layers,
+// so concurrent Predict/PredictAt calls on one Model race; a Predictor
+// owns every buffer the forward pass touches (an nn.Scratch plus an input
+// window), so one Predictor per goroutine evaluates the same trained
+// weights in parallel safely and without per-call allocations. Outputs
+// are bitwise identical to Model.Predict (the batch-1 kernel reproduces
+// the sequential kernel exactly; see internal/nn). A Predictor must not
+// be shared between goroutines; the Model's weights must not be trained
+// while Predictors are in flight.
+type Predictor struct {
+	m       *Model
+	scratch *nn.Scratch
+	x       []float64
+}
+
+// NewPredictor returns an inference context for m.
+func (m *Model) NewPredictor() *Predictor {
+	return &Predictor{
+		m:       m,
+		scratch: nn.NewScratch(m.Net, 1),
+		x:       make([]float64, m.Cfg.H*m.PS.Pairs.Count()),
+	}
+}
+
+// Predict maps a raw history window to a TE configuration, exactly as
+// Model.Predict does.
+func (p *Predictor) Predict(window []float64) (*te.Config, error) {
+	if len(window) != len(p.x) {
+		return nil, fmt.Errorf("figret: window has %d entries, want %d", len(window), len(p.x))
+	}
+	copy(p.x, window)
+	return p.predictScaled(), nil
+}
+
+// PredictAt returns the configuration for snapshot t of tr from the
+// window ending at t-1, exactly as Model.PredictAt does.
+func (p *Predictor) PredictAt(tr *traffic.Trace, t int) (*te.Config, error) {
+	if t < p.m.Cfg.H || t > tr.Len() {
+		return nil, fmt.Errorf("figret: snapshot %d outside predictable range [%d,%d]", t, p.m.Cfg.H, tr.Len())
+	}
+	tr.WindowInto(p.x, t, p.m.Cfg.H)
+	return p.predictScaled(), nil
+}
+
+// predictScaled normalizes p.x in place, runs the batch-1 forward pass on
+// the predictor-owned scratch and converts the outputs to a feasible
+// configuration.
+func (p *Predictor) predictScaled() *te.Config {
+	inv := 1 / p.m.Scale
+	for i := range p.x {
+		p.x[i] *= inv
+	}
+	y := p.m.Net.BatchForward(p.x, 1, p.scratch)
+	cfg := te.NewConfig(p.m.PS)
+	copy(cfg.R, y)
+	cfg.Normalize()
+	return cfg
+}
+
 // normalizedWindow returns the scaled input vector for snapshot t.
 func (m *Model) normalizedWindow(tr *traffic.Trace, t int) []float64 {
 	w := tr.Window(t, m.Cfg.H)

@@ -278,6 +278,40 @@ func TestPredictValidatesWindow(t *testing.T) {
 	}
 }
 
+func TestPredictorMatchesModelBitwise(t *testing.T) {
+	// Predictor is the engine's concurrent inference path; its outputs
+	// must be bitwise identical to Model.PredictAt (the batch-1 kernel
+	// reproduces the sequential kernel exactly).
+	ps := smallSetup(t)
+	tr := burstyTrace(ps, 60, 10, 30)
+	m := New(ps, Config{H: 4, Gamma: 1, Epochs: 2, Seed: 9})
+	if _, err := m.Train(tr); err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewPredictor()
+	for _, at := range []int{4, 17, 42, 59} {
+		want, err := m.PredictAt(tr, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.PredictAt(tr, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.R {
+			if got.R[i] != want.R[i] {
+				t.Fatalf("t=%d path %d: predictor %v vs model %v", at, i, got.R[i], want.R[i])
+			}
+		}
+	}
+	if _, err := p.PredictAt(tr, 2); err == nil {
+		t.Error("predictor accepted t inside warmup")
+	}
+	if _, err := p.Predict(make([]float64, 3)); err == nil {
+		t.Error("predictor accepted short window")
+	}
+}
+
 func TestTrainValidation(t *testing.T) {
 	ps := smallSetup(t)
 	m := New(ps, Config{H: 4})

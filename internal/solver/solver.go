@@ -11,6 +11,7 @@
 package solver
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -29,6 +30,14 @@ type Options struct {
 	BetaRel float64
 	// Seed initializes the logits jitter (default 0: start uniform).
 	Seed int64
+	// InitR, if non-nil, warm-starts the solve: the logits are initialized
+	// so the first iterate reproduces these split ratios (per-pair softmax
+	// inverse, ratios floored at 1e-9). Warm starts let temporally-
+	// correlated demands reuse the previous snapshot's solution with far
+	// fewer iterations; InitR takes precedence over Seed jitter. The
+	// best-iterate tracking guarantees the result is never worse than
+	// InitR itself evaluated on d.
+	InitR []float64
 	// Caps, if non-nil, are per-path upper bounds on split ratios, enforced
 	// by a quadratic penalty (entries may be +Inf).
 	Caps []float64
@@ -60,7 +69,19 @@ func MinimizeMLU(ps *te.PathSet, d []float64, opt Options) (*te.Config, float64)
 	opt = opt.withDefaults()
 	P := ps.NumPaths()
 	z := make([]float64, P)
-	if opt.Seed != 0 {
+	switch {
+	case opt.InitR != nil:
+		if len(opt.InitR) != P {
+			panic(fmt.Sprintf("solver: InitR has %d entries, want %d", len(opt.InitR), P))
+		}
+		// Softmax inverse up to a per-pair constant: z_p = ln r_p.
+		for p, r := range opt.InitR {
+			if r < 1e-9 {
+				r = 1e-9
+			}
+			z[p] = math.Log(r)
+		}
+	case opt.Seed != 0:
 		rng := rand.New(rand.NewSource(opt.Seed))
 		for i := range z {
 			z[i] = 0.01 * rng.NormFloat64()

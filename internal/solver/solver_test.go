@@ -107,6 +107,44 @@ func TestSolverDeterministic(t *testing.T) {
 	}
 }
 
+func TestSolverWarmStart(t *testing.T) {
+	ps, d := geantSetup(t)
+	cold, _ := MinimizeMLU(ps, d, Options{Iters: 400})
+	// A correlated demand: small multiplicative drift from d.
+	d2 := make([]float64, len(d))
+	for i, v := range d {
+		d2[i] = v * (1 + 0.05*math.Sin(float64(i)))
+	}
+	_, cold2 := MinimizeMLU(ps, d2, Options{Iters: 400})
+	// Warm-starting from the neighbor's optimum with a quarter of the
+	// iterations must land within a few percent of the cold solve.
+	warmCfg, warm2 := MinimizeMLU(ps, d2, Options{Iters: 100, InitR: cold.R})
+	if err := warmCfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if warm2 > cold2*1.05+1e-9 {
+		t.Errorf("warm solve %v vs cold %v (>5%% gap)", warm2, cold2)
+	}
+	// Best-iterate tracking: the warm solve can never be worse than the
+	// seed itself evaluated on the new demand.
+	seedMLU, _ := ps.MLU(d2, cold.R)
+	if warm2 > seedMLU+1e-9 {
+		t.Errorf("warm solve %v worse than its own seed %v", warm2, seedMLU)
+	}
+	// Warm starts are deterministic and honored exactly at iteration 0:
+	// two identical warm solves agree bitwise.
+	a, objA := MinimizeMLU(ps, d2, Options{Iters: 50, InitR: cold.R})
+	b, objB := MinimizeMLU(ps, d2, Options{Iters: 50, InitR: cold.R})
+	if objA != objB {
+		t.Fatalf("warm objectives differ: %v vs %v", objA, objB)
+	}
+	for i := range a.R {
+		if a.R[i] != b.R[i] {
+			t.Fatal("warm ratios differ across identical runs")
+		}
+	}
+}
+
 func TestSolverImprovesOverIterations(t *testing.T) {
 	ps, d := geantSetup(t)
 	_, few := MinimizeMLU(ps, d, Options{Iters: 10})
