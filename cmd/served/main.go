@@ -1,0 +1,114 @@
+// Command served is the online TE controller daemon: it serves routing
+// decisions for one or more topologies over the HTTP/JSON API in
+// internal/serve, with hot-swappable model checkpoints, streaming demand
+// ingest, failure rerouting, churn limiting and drift-triggered
+// background retraining.
+//
+// For each named topology the daemon builds the evaluation environment
+// (topology, candidate paths, a synthetic bootstrap trace), trains a
+// bootstrap FIGRET checkpoint on the trace's training split, and starts
+// a per-topology controller. Checkpoints trained elsewhere are swapped
+// in at runtime:
+//
+//	served -topos pod-db,geant -addr :8080
+//	curl -X POST :8080/v1/topologies/pod-db/snapshots -d '{"demand": [...]}'
+//	curl :8080/v1/topologies/pod-db/routing
+//	curl -X POST :8080/v1/topologies/pod-db/checkpoints --data-binary @model.json
+//	curl -X POST :8080/v1/topologies/pod-db/checkpoints/rollback
+//	curl :8080/v1/metrics
+//
+// With -bootstrap=false the daemon starts without models: routing serves
+// the uniform fallback until a checkpoint is uploaded.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+
+	"figret/internal/baselines"
+	"figret/internal/eval"
+	"figret/internal/experiments"
+	"figret/internal/figret"
+	"figret/internal/serve"
+)
+
+func main() {
+	var (
+		topos     = flag.String("topos", "pod-db", "comma-separated topologies to serve (geant uscarrier cogentco pfabric pod-db pod-web tor-db tor-web)")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		scale     = flag.String("scale", "fast", "fast|full topology sizing")
+		bootstrap = flag.Bool("bootstrap", true, "train a bootstrap checkpoint per topology at startup")
+		T         = flag.Int("T", 200, "bootstrap trace length")
+		H         = flag.Int("H", 12, "history window of bootstrap models")
+		gamma     = flag.Float64("gamma", 1, "robustness loss weight of bootstrap models (0 = DOTE)")
+		epochs    = flag.Int("epochs", 6, "bootstrap training epochs")
+		batch     = flag.Int("batch", 16, "bootstrap training minibatch size")
+		seed      = flag.Int64("seed", 1, "random seed")
+		history   = flag.Int("history", 256, "sliding demand-window capacity per topology")
+		churn     = flag.Float64("churn", 0, "per-interval L1 churn limit (0 = unlimited)")
+		drift     = flag.Bool("drift", true, "enable drift-triggered background retraining")
+	)
+	flag.Parse()
+
+	sc := experiments.ScaleFast
+	if *scale == "full" {
+		sc = experiments.ScaleFull
+	}
+
+	reg := serve.NewRegistry()
+	srv := serve.NewServer(reg)
+	for _, topo := range strings.Split(*topos, ",") {
+		topo = strings.TrimSpace(topo)
+		if topo == "" {
+			continue
+		}
+		if err := addTopology(srv, reg, topo, sc, *bootstrap, *T, *H, *gamma, *epochs, *batch, *seed, *history, *churn, *drift); err != nil {
+			log.Fatalf("served: %s: %v", topo, err)
+		}
+	}
+
+	log.Printf("served: listening on %s (topologies: %s)", *addr, *topos)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatalf("served: %v", err)
+	}
+}
+
+func addTopology(srv *serve.Server, reg *serve.Registry, topo string, sc experiments.Scale,
+	bootstrap bool, T, H int, gamma float64, epochs, batch int, seed int64,
+	history int, churn float64, drift bool) error {
+	env, err := experiments.NewEnv(topo, sc, experiments.EnvOptions{T: T, Seed: seed})
+	if err != nil {
+		return err
+	}
+	if err := reg.AddTopology(topo, env.PS); err != nil {
+		return err
+	}
+	opt := serve.ControllerOptions{HistoryCap: history, MaxChurn: churn}
+	if drift {
+		// Shadow evaluations normalize against the environment's memoized
+		// omniscient oracle; solves run in the background and are shared
+		// across retrains.
+		opt.Drift = &serve.DriftOptions{Oracle: eval.NewOracle(env.PS, baselines.AutoSolve(env.PS), nil)}
+	}
+	if _, err := srv.Add(topo, opt); err != nil {
+		return err
+	}
+	if !bootstrap {
+		log.Printf("served: %s ready (no checkpoint; uniform fallback until upload)", topo)
+		return nil
+	}
+	m := figret.New(env.PS, figret.Config{H: H, Gamma: gamma, Epochs: epochs, Seed: seed, BatchSize: batch})
+	stats, err := m.Train(env.Train)
+	if err != nil {
+		return err
+	}
+	ck, err := reg.Install(topo, m, "bootstrap")
+	if err != nil {
+		return err
+	}
+	log.Printf("served: %s ready (checkpoint v%d, %d params, train MLU %.4f -> %.4f)",
+		topo, ck.Version, m.Net.NumParams(), stats.EpochMLU[0], stats.EpochMLU[len(stats.EpochMLU)-1])
+	return nil
+}

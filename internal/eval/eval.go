@@ -231,8 +231,17 @@ func Parallel(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				// The failure check must precede the claim: indices are
+				// claimed in ascending order, so a failure at index j can
+				// only be observed by workers that have not yet claimed
+				// their next (larger) index — every claimed index runs to
+				// completion, which is what makes the smallest failing
+				// index deterministic.
+				if failed.Load() {
+					return
+				}
 				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
+				if i >= n {
 					return
 				}
 				if err := fn(i); err != nil {

@@ -85,7 +85,7 @@ func TestRunAlignsWarmupWindows(t *testing.T) {
 	ps, tr := setup(t)
 	orc := lpOracle(ps)
 	omniLike := &baselines.Omniscient{PS: ps, Solve: orc.CachedSolve} // warmup 0
-	des := &baselines.DesTE{PS: ps, Solve: baselines.LPSolve, H: 8}  // warmup 1
+	des := &baselines.DesTE{PS: ps, Solve: baselines.LPSolve, H: 8}   // warmup 1
 	res, err := Run([]baselines.Scheme{omniLike, des}, tr, Window{From: 0, To: 12},
 		Options{Workers: 3, Oracle: orc})
 	if err != nil {

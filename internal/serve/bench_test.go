@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkServeDecision measures the serving decision path on the PoD
+// fixture: "controller" is the in-process cost of one synchronous ingest
+// (window update + pooled inference + publish) — the per-snapshot budget
+// of the control loop — and "http" adds the full API round trip the
+// closed-loop harness pays.
+func BenchmarkServeDecision(b *testing.B) {
+	ps, tr, m := fixture(b, 60, 1)
+
+	b.Run("controller", func(b *testing.B) {
+		reg := NewRegistry()
+		if err := reg.AddTopology("pod", ps); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := reg.Install("pod", m, "bootstrap"); err != nil {
+			b.Fatal(err)
+		}
+		c, err := NewController("pod", reg, ControllerOptions{HistoryCap: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		for i := 0; i < 8; i++ {
+			if _, err := c.Ingest(tr.At(i), true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := c.Ingest(tr.At(i%tr.Len()), true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Decision == nil {
+				b.Fatal("warming mid-benchmark")
+			}
+		}
+	})
+
+	b.Run("http", func(b *testing.B) {
+		reg := NewRegistry()
+		if err := reg.AddTopology("pod", ps); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := reg.Install("pod", m, "bootstrap"); err != nil {
+			b.Fatal(err)
+		}
+		srv := NewServer(reg)
+		if _, err := srv.Add("pod", ControllerOptions{HistoryCap: 16}); err != nil {
+			b.Fatal(err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		defer func() {
+			hs.Close()
+			srv.Close()
+		}()
+		client := NewClient(hs.URL)
+		for i := 0; i < 8; i++ {
+			if _, err := client.PostSnapshot("pod", tr.At(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rr, err := client.PostSnapshot("pod", tr.At(i%tr.Len()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rr.Warming {
+				b.Fatal("warming mid-benchmark")
+			}
+		}
+	})
+}

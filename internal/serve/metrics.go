@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRingSize bounds the decision-latency sample ring the quantiles
+// are computed over; 1024 recent decisions give stable p50/p99 without
+// unbounded memory.
+const latencyRingSize = 1024
+
+// Metrics is one topology's serving counters, exported by the metrics
+// endpoint.
+type Metrics struct {
+	// Snapshots is the number of demand snapshots ingested.
+	Snapshots uint64 `json:"snapshots"`
+	// Decisions is the number of routing decisions published.
+	Decisions uint64 `json:"decisions"`
+	// Coalesced counts ingested snapshots that entered the demand window
+	// without their own decision because newer snapshots were already
+	// queued (async burst coalescing).
+	Coalesced uint64 `json:"coalesced"`
+	// Retrains counts drift-triggered retrains that swapped a checkpoint
+	// in; RetrainsRejected counts candidates that lost the shadow
+	// evaluation; RetrainsFailed counts retrains that errored outright
+	// (training, shadow scoring or install), with the most recent error
+	// in LastRetrainError.
+	Retrains         uint64 `json:"retrains"`
+	RetrainsRejected uint64 `json:"retrains_rejected"`
+	RetrainsFailed   uint64 `json:"retrains_failed,omitempty"`
+	LastRetrainError string `json:"last_retrain_error,omitempty"`
+	// DecisionsPerSec is Decisions over the collector's uptime.
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	// P50/P99 are decision-latency quantiles in microseconds over the most
+	// recent latencyRingSize decisions (0 before any decision).
+	P50Micros float64 `json:"p50_micros"`
+	P99Micros float64 `json:"p99_micros"`
+	// ConfigError reports a standing misconfiguration that prevents
+	// decisions (e.g. a history cap below the active checkpoint's
+	// window) — the only way async ingesters, which never see per-request
+	// errors, learn why routing is stuck on the fallback. Cleared by the
+	// next successful decision.
+	ConfigError string `json:"config_error,omitempty"`
+}
+
+// metricsRecorder collects one controller's counters. All methods are
+// safe for concurrent use.
+type metricsRecorder struct {
+	mu          sync.Mutex
+	start       time.Time
+	snapshots   uint64
+	decisions   uint64
+	coalesced   uint64
+	retrains    uint64
+	rejected    uint64
+	failed      uint64
+	lastRetrain string
+	ring        [latencyRingSize]time.Duration
+	ringN       int // filled entries
+	ringIdx     int // next write position
+	configErr   string
+}
+
+func newMetricsRecorder() *metricsRecorder {
+	return &metricsRecorder{start: time.Now()}
+}
+
+func (m *metricsRecorder) ingest(coalesced bool) {
+	m.mu.Lock()
+	m.snapshots++
+	if coalesced {
+		m.coalesced++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metricsRecorder) decision(latency time.Duration) {
+	m.mu.Lock()
+	m.decisions++
+	m.ring[m.ringIdx] = latency
+	m.ringIdx = (m.ringIdx + 1) % latencyRingSize
+	if m.ringN < latencyRingSize {
+		m.ringN++
+	}
+	m.mu.Unlock()
+}
+
+// configError records (or, with "", clears) the standing
+// misconfiguration message. Clearing is tied to successful *model*
+// decisions only — a failure-report republish of the fallback must not
+// hide a still-present misconfiguration.
+func (m *metricsRecorder) configError(msg string) {
+	m.mu.Lock()
+	m.configErr = msg
+	m.mu.Unlock()
+}
+
+func (m *metricsRecorder) retrain(accepted bool) {
+	m.mu.Lock()
+	if accepted {
+		m.retrains++
+	} else {
+		m.rejected++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metricsRecorder) retrainFailed(err error) {
+	m.mu.Lock()
+	m.failed++
+	m.lastRetrain = err.Error()
+	m.mu.Unlock()
+}
+
+// snapshot returns a consistent copy of the counters with quantiles
+// computed over the latency ring.
+func (m *metricsRecorder) snapshot() Metrics {
+	m.mu.Lock()
+	out := Metrics{
+		Snapshots:        m.snapshots,
+		Decisions:        m.decisions,
+		Coalesced:        m.coalesced,
+		Retrains:         m.retrains,
+		RetrainsRejected: m.rejected,
+		RetrainsFailed:   m.failed,
+		LastRetrainError: m.lastRetrain,
+		ConfigError:      m.configErr,
+	}
+	lat := make([]time.Duration, m.ringN)
+	copy(lat, m.ring[:m.ringN])
+	elapsed := time.Since(m.start).Seconds()
+	m.mu.Unlock()
+
+	if elapsed > 0 {
+		out.DecisionsPerSec = float64(out.Decisions) / elapsed
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		out.P50Micros = micros(quantileDur(lat, 0.50))
+		out.P99Micros = micros(quantileDur(lat, 0.99))
+	}
+	return out
+}
+
+// quantileDur returns the q'th quantile of sorted durations by
+// nearest-rank.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func micros(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}

@@ -1,0 +1,316 @@
+// Package serve is the online TE serving subsystem: it wraps the offline
+// stack — trained figret models, the te reroute machinery, the drift
+// detector and the memoized omniscient oracle — into a running controller
+// service. A Registry holds versioned model checkpoints per topology with
+// atomic hot-swap and rollback; a Controller (one goroutine per topology)
+// ingests streamed demand snapshots into a sliding window, serves routing
+// decisions through pooled predictors, reroutes around reported link
+// failures, rate-limits configuration churn, and triggers background
+// retraining when the drift detector fires; Server exposes the whole thing
+// over an HTTP/JSON API that Replay can drive closed-loop from a recorded
+// trace. The offline components are used unchanged — the server is purely
+// additive, so anything trained or evaluated offline serves verbatim.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"figret/internal/figret"
+	"figret/internal/te"
+	"figret/internal/traffic"
+)
+
+// Checkpoint is one immutable registry entry: a model version plus its
+// serialized form. The Model must never be trained after registration —
+// decision paths read its weights concurrently through pooled predictors.
+type Checkpoint struct {
+	// Version is the registry-assigned monotonically increasing id (1-based
+	// per topology).
+	Version int
+	// Source records how the checkpoint arrived: "bootstrap", "upload" or
+	// "retrain".
+	Source string
+	// Data is the canonical serialized form (figret.MarshalJSON). The
+	// served Model is always LoadModel(Data), so what the registry serves
+	// is bitwise the checkpoint's round-trip — the invariant the figret
+	// checkpoint round-trip tests pin down.
+	Data []byte
+	// Model is the deserialized model this checkpoint serves.
+	Model *figret.Model
+
+	// pool recycles goroutine-confined predictors for Model. Each borrow
+	// owns every buffer its forward pass touches, so concurrent Predict
+	// calls on one checkpoint are race-free and the forward pass costs no
+	// per-call allocations at steady state (the returned decision config
+	// is a fresh, immutable allocation by design).
+	pool sync.Pool
+}
+
+// Predict runs one inference on a pooled predictor. Safe for concurrent
+// use; output is bitwise identical to figret.Model.Predict on the same
+// window.
+func (c *Checkpoint) Predict(window []float64) (*te.Config, error) {
+	p, _ := c.pool.Get().(*figret.Predictor)
+	if p == nil {
+		p = c.Model.NewPredictor()
+	}
+	cfg, err := p.Predict(window)
+	c.pool.Put(p)
+	return cfg, err
+}
+
+// PredictAt is the decision hot path: inference for snapshot t of tr
+// from the window ending at t-1, assembled directly into the pooled
+// predictor's input buffer — no window allocation or extra copy. Output
+// is bitwise identical to Predict on tr.Window(t, H).
+func (c *Checkpoint) PredictAt(tr *traffic.Trace, t int) (*te.Config, error) {
+	p, _ := c.pool.Get().(*figret.Predictor)
+	if p == nil {
+		p = c.Model.NewPredictor()
+	}
+	cfg, err := p.PredictAt(tr, t)
+	c.pool.Put(p)
+	return cfg, err
+}
+
+// CheckpointInfo is the exported metadata of one registry entry.
+type CheckpointInfo struct {
+	Version int    `json:"version"`
+	Source  string `json:"source"`
+	Bytes   int    `json:"bytes"`
+	Active  bool   `json:"active"`
+}
+
+// topoModels is one topology's version stack.
+type topoModels struct {
+	ps       *te.PathSet
+	versions []*Checkpoint
+	next     int
+	active   atomic.Pointer[Checkpoint]
+}
+
+// Registry holds versioned model checkpoints for every served topology.
+// Reads of the active checkpoint are a single atomic load (the decision
+// hot path); installs, uploads and rollbacks are serialized per registry
+// and swap the active pointer atomically, so a decision in flight keeps
+// the checkpoint it grabbed and the next decision sees the new one —
+// hot-swap never blocks or drops a request.
+type Registry struct {
+	mu    sync.Mutex
+	topos map[string]*topoModels
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{topos: make(map[string]*topoModels)}
+}
+
+// AddTopology registers a topology's path set. Checkpoints can only be
+// installed for registered topologies, and every install is validated
+// against this path set.
+func (r *Registry) AddTopology(name string, ps *te.PathSet) error {
+	if ps == nil {
+		return fmt.Errorf("serve: nil path set for topology %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.topos[name]; ok {
+		return fmt.Errorf("serve: topology %q already registered", name)
+	}
+	r.topos[name] = &topoModels{ps: ps, next: 1}
+	return nil
+}
+
+// Topologies lists registered topology names (unordered).
+func (r *Registry) Topologies() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.topos))
+	for name := range r.topos {
+		out = append(out, name)
+	}
+	return out
+}
+
+// PathSet returns the registered path set for a topology, or nil.
+func (r *Registry) PathSet(topo string) *te.PathSet {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tm := r.topos[topo]; tm != nil {
+		return tm.ps
+	}
+	return nil
+}
+
+// Install serializes m, round-trips it through LoadModel and activates the
+// result as the topology's next version. Serving the round-trip (rather
+// than m itself) guarantees the served weights are exactly what Data
+// records — uploads and in-process installs behave identically.
+func (r *Registry) Install(topo string, m *figret.Model, source string) (*Checkpoint, error) {
+	data, err := m.MarshalJSON()
+	if err != nil {
+		return nil, fmt.Errorf("serve: serialize model for %q: %w", topo, err)
+	}
+	return r.install(topo, data, source, nil)
+}
+
+// InstallIf is Install gated on the active checkpoint: the new version is
+// only activated while expect is still serving, so a slow background
+// producer (the drift retrainer) cannot silently supersede a checkpoint
+// installed while it was working. It returns ErrSuperseded otherwise.
+func (r *Registry) InstallIf(topo string, m *figret.Model, source string, expect *Checkpoint) (*Checkpoint, error) {
+	data, err := m.MarshalJSON()
+	if err != nil {
+		return nil, fmt.Errorf("serve: serialize model for %q: %w", topo, err)
+	}
+	return r.install(topo, data, source, expect)
+}
+
+// ErrSuperseded reports an InstallIf whose expected incumbent was no
+// longer the active checkpoint.
+var ErrSuperseded = errors.New("active checkpoint changed")
+
+// Upload validates a serialized checkpoint against the topology's path set
+// and atomically activates it as the next version.
+func (r *Registry) Upload(topo string, data []byte, source string) (*Checkpoint, error) {
+	return r.install(topo, data, source, nil)
+}
+
+// install deserializes and activates one checkpoint. Deserialization —
+// the expensive part for multi-MB checkpoints — runs outside the
+// registry lock, so an upload for one topology never stalls another
+// topology's Active reads (the decision hot path). When expect is
+// non-nil the activation is conditional on it still being active.
+func (r *Registry) install(topo string, data []byte, source string, expect *Checkpoint) (*Checkpoint, error) {
+	r.mu.Lock()
+	tm := r.topos[topo]
+	r.mu.Unlock()
+	if tm == nil {
+		return nil, fmt.Errorf("serve: unknown topology %q", topo)
+	}
+	m, err := figret.LoadModel(tm.ps, data) // tm.ps is immutable after AddTopology
+	if err != nil {
+		return nil, fmt.Errorf("serve: checkpoint rejected for %q: %w", topo, err)
+	}
+	ck := &Checkpoint{
+		Source: source,
+		Data:   append([]byte(nil), data...),
+		Model:  m,
+	}
+	r.mu.Lock()
+	if expect != nil && tm.active.Load() != expect {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("serve: %q: %w", topo, ErrSuperseded)
+	}
+	ck.Version = tm.next
+	tm.next++
+	tm.versions = append(tm.versions, ck)
+	tm.active.Store(ck)
+	// Retention: drop the oldest retired versions beyond the bound so a
+	// long-running daemon with drift retraining cannot grow without
+	// limit. The active checkpoint is never pruned.
+	if over := len(tm.versions) - retainVersions; over > 0 {
+		kept := tm.versions[:0]
+		for _, v := range tm.versions {
+			if over > 0 && v != ck {
+				over--
+				continue
+			}
+			kept = append(kept, v)
+		}
+		tm.versions = kept
+	}
+	r.mu.Unlock()
+	return ck, nil
+}
+
+// retainVersions bounds each topology's checkpoint stack; older retired
+// versions are pruned on install (rollback targets beyond it are gone,
+// which is the price of bounded memory on multi-MB checkpoints).
+const retainVersions = 16
+
+// Active returns the topology's currently served checkpoint (nil when none
+// is installed). This is the decision hot path: a brief lookup in the
+// append-only topology map plus one atomic load — never blocked by
+// checkpoint deserialization (see Upload).
+func (r *Registry) Active(topo string) *Checkpoint {
+	r.mu.Lock()
+	tm := r.topos[topo]
+	r.mu.Unlock()
+	if tm == nil {
+		return nil
+	}
+	return tm.active.Load()
+}
+
+// Get returns the topology's checkpoint with the given version, or nil.
+// Retired (rolled-back) versions are not found.
+func (r *Registry) Get(topo string, version int) *Checkpoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tm := r.topos[topo]
+	if tm == nil {
+		return nil
+	}
+	for _, ck := range tm.versions {
+		if ck.Version == version {
+			return ck
+		}
+	}
+	return nil
+}
+
+// Rollback retires the active checkpoint and re-activates its predecessor
+// on the version stack. The retired version is removed (a rollback is a
+// statement that the checkpoint is bad); it errors when fewer than two
+// versions exist.
+func (r *Registry) Rollback(topo string) (*Checkpoint, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tm := r.topos[topo]
+	if tm == nil {
+		return nil, fmt.Errorf("serve: unknown topology %q", topo)
+	}
+	cur := tm.active.Load()
+	if cur == nil {
+		return nil, fmt.Errorf("serve: %q has no active checkpoint", topo)
+	}
+	idx := -1
+	for i, ck := range tm.versions {
+		if ck == cur {
+			idx = i
+			break
+		}
+	}
+	if idx <= 0 {
+		return nil, fmt.Errorf("serve: %q has no earlier checkpoint to roll back to", topo)
+	}
+	prev := tm.versions[idx-1]
+	tm.versions = append(tm.versions[:idx], tm.versions[idx+1:]...)
+	tm.active.Store(prev)
+	return prev, nil
+}
+
+// List returns the topology's checkpoint metadata in version order.
+func (r *Registry) List(topo string) []CheckpointInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tm := r.topos[topo]
+	if tm == nil {
+		return nil
+	}
+	cur := tm.active.Load()
+	out := make([]CheckpointInfo, len(tm.versions))
+	for i, ck := range tm.versions {
+		out[i] = CheckpointInfo{
+			Version: ck.Version,
+			Source:  ck.Source,
+			Bytes:   len(ck.Data),
+			Active:  ck == cur,
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"figret/internal/figret"
+	"figret/internal/graph"
+	"figret/internal/te"
+	"figret/internal/traffic"
+)
+
+// fixture builds a tiny served topology: the 4-PoD full mesh with a
+// briefly trained model.
+func fixture(tb testing.TB, T int, seed int64) (*te.PathSet, *traffic.Trace, *figret.Model) {
+	tb.Helper()
+	ps, err := te.NewPathSet(graph.PoDDB(), 3, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := traffic.DC(traffic.PoDDB, 4, T, seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m := figret.New(ps, figret.Config{H: 4, Gamma: 1, Epochs: 2, Seed: seed, BatchSize: 8})
+	if _, err := m.Train(tr); err != nil {
+		tb.Fatal(err)
+	}
+	return ps, tr, m
+}
+
+func TestRegistryInstallRollback(t *testing.T) {
+	ps, _, m1 := fixture(t, 40, 1)
+	_, _, m2 := fixture(t, 40, 2)
+	reg := NewRegistry()
+	if err := reg.AddTopology("pod", ps); err != nil {
+		t.Fatal(err)
+	}
+	if ck := reg.Active("pod"); ck != nil {
+		t.Fatalf("active before any install: %+v", ck)
+	}
+
+	ck1, err := reg.Install("pod", m1, "bootstrap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck1.Version != 1 || reg.Active("pod") != ck1 {
+		t.Fatalf("v1 not active: %+v", ck1)
+	}
+	ck2, err := reg.Install("pod", m2, "retrain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2.Version != 2 || reg.Active("pod") != ck2 {
+		t.Fatalf("v2 not active: %+v", ck2)
+	}
+
+	list := reg.List("pod")
+	if len(list) != 2 || !list[1].Active || list[0].Active {
+		t.Fatalf("list = %+v", list)
+	}
+
+	back, err := reg.Rollback("pod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != ck1 || reg.Active("pod") != ck1 {
+		t.Fatalf("rollback did not restore v1: %+v", back)
+	}
+	if len(reg.List("pod")) != 1 {
+		t.Fatalf("rolled-back version still listed: %+v", reg.List("pod"))
+	}
+	if _, err := reg.Rollback("pod"); err == nil {
+		t.Fatal("rollback below the first version succeeded")
+	}
+}
+
+func TestRegistryUploadValidation(t *testing.T) {
+	ps, _, _ := fixture(t, 40, 1)
+	reg := NewRegistry()
+	if err := reg.AddTopology("pod", ps); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Upload("pod", []byte("{not json"), "upload"); err == nil {
+		t.Fatal("garbage checkpoint accepted")
+	}
+	// A model trained for a different topology (different path count) must
+	// be rejected.
+	other, err := te.NewPathSet(graph.PoDWEB(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := figret.New(other, figret.Config{H: 4, Epochs: 1, Seed: 1})
+	data, err := wrong.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Upload("pod", data, "upload"); err == nil {
+		t.Fatal("wrong-topology checkpoint accepted")
+	}
+	if _, err := reg.Upload("nope", nil, "upload"); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+// TestCheckpointPredictMatchesModel pins the serving hot path to offline
+// inference: pooled concurrent Checkpoint.Predict calls are bitwise
+// identical to Model.Predict, which the closed-loop test then extends
+// across the HTTP API.
+func TestCheckpointPredictMatchesModel(t *testing.T) {
+	ps, tr, m := fixture(t, 60, 3)
+	reg := NewRegistry()
+	if err := reg.AddTopology("pod", ps); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := reg.Install("pod", m, "bootstrap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.Cfg.H
+	// Reference outputs first, serially: Model.Predict itself is not
+	// concurrency-safe — that is precisely what the predictor pool is for.
+	want := make(map[int]*te.Config)
+	for ti := h; ti <= tr.Len(); ti++ {
+		cfg, err := m.Predict(tr.Window(ti, h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[ti] = cfg
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ti := h + w; ti <= tr.Len(); ti += 8 {
+				got, err := ck.Predict(tr.Window(ti, h))
+				if err != nil {
+					errs <- err
+					return
+				}
+				for p := range want[ti].R {
+					if got.R[p] != want[ti].R[p] {
+						errs <- fmt.Errorf("t=%d path %d: pooled %v, model %v", ti, p, got.R[p], want[ti].R[p])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

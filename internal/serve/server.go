@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies (checkpoints for large fabrics are
+// a few MB of JSON weights).
+const maxBodyBytes = 64 << 20
+
+// Server shards the HTTP/JSON API across per-topology controllers: every
+// request is routed by its {topo} path element to that topology's
+// controller, so topologies never contend — one topology's retrain or
+// ingest burst cannot delay another's decisions.
+//
+// API surface (all JSON):
+//
+//	GET  /v1/topologies                           list served topologies
+//	POST /v1/topologies/{topo}/snapshots          ingest a demand snapshot
+//	GET  /v1/topologies/{topo}/routing            current routing decision
+//	POST /v1/topologies/{topo}/failures           report failed links ([] clears)
+//	GET  /v1/topologies/{topo}/checkpoints        list model checkpoints
+//	POST /v1/topologies/{topo}/checkpoints        upload + activate a checkpoint
+//	POST /v1/topologies/{topo}/checkpoints/rollback  roll back to the previous one
+//	GET  /v1/metrics                              per-topology serving metrics
+//
+// Snapshot ingest is synchronous by default — the response carries the
+// decision computed from the window ending at the posted snapshot —
+// matching offline inference snapshot for snapshot. With "async": true
+// the server acknowledges immediately and bursts coalesce into one
+// decision on the newest window.
+type Server struct {
+	reg *Registry
+	mux *http.ServeMux
+
+	mu          sync.RWMutex
+	controllers map[string]*Controller
+}
+
+// NewServer builds a server over reg. Topologies are added with Add.
+func NewServer(reg *Registry) *Server {
+	s := &Server{
+		reg:         reg,
+		mux:         http.NewServeMux(),
+		controllers: make(map[string]*Controller),
+	}
+	s.mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
+	s.mux.HandleFunc("POST /v1/topologies/{topo}/snapshots", s.handleSnapshot)
+	s.mux.HandleFunc("GET /v1/topologies/{topo}/routing", s.handleRouting)
+	s.mux.HandleFunc("POST /v1/topologies/{topo}/failures", s.handleFailures)
+	s.mux.HandleFunc("GET /v1/topologies/{topo}/checkpoints", s.handleListCheckpoints)
+	s.mux.HandleFunc("POST /v1/topologies/{topo}/checkpoints", s.handleUploadCheckpoint)
+	s.mux.HandleFunc("POST /v1/topologies/{topo}/checkpoints/rollback", s.handleRollback)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return s
+}
+
+// Add starts a controller for a topology already registered in the
+// registry (see Registry.AddTopology) and shards the API to it.
+func (s *Server) Add(topo string, opt ControllerOptions) (*Controller, error) {
+	c, err := NewController(topo, s.reg, opt)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.controllers[topo]; ok {
+		c.Close()
+		return nil, fmt.Errorf("serve: topology %q already served", topo)
+	}
+	s.controllers[topo] = c
+	return c, nil
+}
+
+// Controller returns the named topology's controller, or nil.
+func (s *Server) Controller(topo string) *Controller {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.controllers[topo]
+}
+
+// Close stops every controller.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.controllers {
+		c.Close()
+	}
+	s.controllers = make(map[string]*Controller)
+}
+
+// Handler returns the HTTP handler (the server itself is not a handler
+// so construction stays explicit).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// --- wire types ---------------------------------------------------------
+
+// SnapshotRequest is the ingest body.
+type SnapshotRequest struct {
+	// Demand is the flat pair-indexed demand vector (te.Pairs layout).
+	Demand []float64 `json:"demand"`
+	// Async acknowledges without waiting for the decision.
+	Async bool `json:"async,omitempty"`
+}
+
+// RoutingResponse describes a published decision (and doubles as the
+// sync-ingest response).
+type RoutingResponse struct {
+	Topology     string    `json:"topology"`
+	Seq          int64     `json:"seq"`
+	Snapshot     int64     `json:"snapshot"`
+	Version      int       `json:"version"`
+	Ratios       []float64 `json:"ratios,omitempty"`
+	Rerouted     bool      `json:"rerouted,omitempty"`
+	ChurnLimited bool      `json:"churn_limited,omitempty"`
+	Warming      bool      `json:"warming,omitempty"`
+	At           time.Time `json:"at"`
+}
+
+// FailuresRequest reports failed undirected links by vertex pair.
+type FailuresRequest struct {
+	Links [][2]int `json:"links"`
+}
+
+// CheckpointResponse acknowledges an upload or rollback.
+type CheckpointResponse struct {
+	Topology string `json:"topology"`
+	Version  int    `json:"version"`
+	Source   string `json:"source"`
+}
+
+func routingResponse(topo string, d *Decision, withRatios bool) RoutingResponse {
+	out := RoutingResponse{
+		Topology:     topo,
+		Seq:          d.Seq,
+		Snapshot:     d.Snapshot,
+		Version:      d.Version,
+		Rerouted:     d.Rerouted,
+		ChurnLimited: d.ChurnLimited,
+		At:           d.At,
+	}
+	if withRatios {
+		out.Ratios = d.Config.R // immutable by the Decision contract
+	}
+	return out
+}
+
+// --- handlers -----------------------------------------------------------
+
+func (s *Server) controllerOr404(w http.ResponseWriter, r *http.Request) *Controller {
+	topo := r.PathValue("topo")
+	c := s.Controller(topo)
+	if c == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown topology %q", topo))
+	}
+	return c
+}
+
+func (s *Server) handleTopologies(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.controllers))
+	for name := range s.controllers {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string][]string{"topologies": names})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	c := s.controllerOr404(w, r)
+	if c == nil {
+		return
+	}
+	var req SnapshotRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	res, err := c.Ingest(req.Demand, !req.Async)
+	if err != nil {
+		// Only caller faults (malformed demand) are 4xx; lifecycle and
+		// configuration conditions are the server's.
+		switch {
+		case errors.Is(err, ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, ErrNeverServable):
+			httpError(w, http.StatusInternalServerError, err.Error())
+		default:
+			httpError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, map[string]bool{"queued": true})
+		return
+	}
+	if res.Decision == nil {
+		writeJSON(w, http.StatusOK, RoutingResponse{Topology: c.Topology(), Snapshot: res.Snapshot, Warming: true})
+		return
+	}
+	writeJSON(w, http.StatusOK, routingResponse(c.Topology(), res.Decision, true))
+}
+
+func (s *Server) handleRouting(w http.ResponseWriter, r *http.Request) {
+	c := s.controllerOr404(w, r)
+	if c == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, routingResponse(c.Topology(), c.Decision(), true))
+}
+
+func (s *Server) handleFailures(w http.ResponseWriter, r *http.Request) {
+	c := s.controllerOr404(w, r)
+	if c == nil {
+		return
+	}
+	var req FailuresRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := c.ReportFailures(req.Links); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, routingResponse(c.Topology(), c.Decision(), true))
+}
+
+func (s *Server) handleListCheckpoints(w http.ResponseWriter, r *http.Request) {
+	c := s.controllerOr404(w, r)
+	if c == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]CheckpointInfo{"checkpoints": s.reg.List(c.Topology())})
+}
+
+func (s *Server) handleUploadCheckpoint(w http.ResponseWriter, r *http.Request) {
+	c := s.controllerOr404(w, r)
+	if c == nil {
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		// MaxBytesReader makes oversized bodies an explicit error rather
+		// than a silent truncation that would surface as a baffling
+		// parse failure.
+		httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
+	}
+	ck, err := s.reg.Upload(c.Topology(), data, "upload")
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, CheckpointResponse{Topology: c.Topology(), Version: ck.Version, Source: ck.Source})
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	c := s.controllerOr404(w, r)
+	if c == nil {
+		return
+	}
+	ck, err := s.reg.Rollback(c.Topology())
+	if err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointResponse{Topology: c.Topology(), Version: ck.Version, Source: ck.Source})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	out := make(map[string]Metrics, len(s.controllers))
+	for name, c := range s.controllers {
+		out[name] = c.Metrics()
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- JSON plumbing ------------------------------------------------------
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -31,7 +31,7 @@ func (t *Trace) UnmarshalJSON(data []byte) error {
 	}
 	restored := NewTrace(j.N)
 	for i, s := range j.Snapshots {
-		if err := restored.Append(s); err != nil {
+		if err := restored.AppendOwned(s); err != nil {
 			return fmt.Errorf("traffic: snapshot %d: %w", i, err)
 		}
 	}
@@ -124,7 +124,7 @@ func ReadCSV(r io.Reader, n int) (*Trace, error) {
 		}
 	}
 	for ti := 0; ti <= maxT; ti++ {
-		tr.Append(make([]float64, tr.Pairs.Count()))
+		tr.AppendOwned(make([]float64, tr.Pairs.Count()))
 	}
 	for _, e := range entries {
 		tr.Snapshots[e.t][e.pair] = e.v

@@ -16,6 +16,14 @@ import (
 
 // Trace is a time-ordered sequence of demand matrices over a fixed vertex
 // set. Snapshots share the pair indexing of Pairs.
+//
+// View contract: Slice (and Split, built on it) returns a *view* — the
+// snapshot vectors are shared with the parent, so mutating a demand entry
+// through a view is visible in the parent and vice versa. The snapshot
+// *index structure* is not shared in the other direction: appending to a
+// view never alters the parent (views are capacity-clipped, so Append
+// reallocates the view's index instead of clobbering the parent's backing
+// array). Use Clone for a fully independent copy.
 type Trace struct {
 	Pairs     te.Pairs
 	Snapshots [][]float64
@@ -32,8 +40,24 @@ func (t *Trace) Len() int { return len(t.Snapshots) }
 // At returns snapshot i (not a copy).
 func (t *Trace) At(i int) []float64 { return t.Snapshots[i] }
 
-// Append adds a snapshot; it must have Pairs.Count() entries.
+// Append adds a copy of snapshot d; it must have Pairs.Count() entries.
+// Copying makes Append safe for streaming ingesters that reuse their read
+// buffer between snapshots — the trace never retains a caller's slice, so
+// later writes to d cannot corrupt history. Use At to mutate a stored
+// snapshot in place, and AppendOwned to hand over a freshly-built slice
+// without the copy.
 func (t *Trace) Append(d []float64) error {
+	if len(d) != t.Pairs.Count() {
+		return fmt.Errorf("traffic: snapshot has %d entries, want %d", len(d), t.Pairs.Count())
+	}
+	return t.AppendOwned(append([]float64(nil), d...))
+}
+
+// AppendOwned adds snapshot d transferring ownership: the trace retains d
+// itself, so the caller must not write to it afterwards. It is the
+// zero-copy path for producers that build a fresh slice per snapshot
+// (generators, deserializers, ingest queues that already copied).
+func (t *Trace) AppendOwned(d []float64) error {
 	if len(d) != t.Pairs.Count() {
 		return fmt.Errorf("traffic: snapshot has %d entries, want %d", len(d), t.Pairs.Count())
 	}
@@ -50,12 +74,15 @@ func (t *Trace) Clone() *Trace {
 	return c
 }
 
-// Slice returns a view of snapshots [from, to).
+// Slice returns a view of snapshots [from, to). Snapshot vectors are
+// shared with the parent (see the Trace view contract); the view's
+// capacity is clipped to its length, so appending to the view reallocates
+// instead of overwriting the parent's snapshots past to.
 func (t *Trace) Slice(from, to int) *Trace {
 	if from < 0 || to > t.Len() || from > to {
 		panic(fmt.Sprintf("traffic: bad slice [%d,%d) of %d", from, to, t.Len()))
 	}
-	return &Trace{Pairs: t.Pairs, Snapshots: t.Snapshots[from:to]}
+	return &Trace{Pairs: t.Pairs, Snapshots: t.Snapshots[from:to:to]}
 }
 
 // Split divides the trace chronologically: the first frac (0..1) of the

@@ -22,6 +22,49 @@ func TestTraceBasics(t *testing.T) {
 	}
 }
 
+func TestAppendCopiesSnapshot(t *testing.T) {
+	// A streaming ingester reuses its read buffer between snapshots; the
+	// trace must not retain the caller's slice.
+	tr := NewTrace(2)
+	buf := []float64{1, 2}
+	tr.Append(buf)
+	buf[0], buf[1] = 77, 88
+	tr.Append(buf)
+	if got := tr.At(0); got[0] != 1 || got[1] != 2 {
+		t.Errorf("snapshot 0 corrupted by buffer reuse: %v", got)
+	}
+	if got := tr.At(1); got[0] != 77 || got[1] != 88 {
+		t.Errorf("snapshot 1 = %v, want [77 88]", got)
+	}
+}
+
+func TestAppendToViewDoesNotClobberParent(t *testing.T) {
+	parent := NewTrace(2)
+	for i := 0; i < 5; i++ {
+		parent.Append([]float64{float64(i), 0})
+	}
+	view := parent.Slice(1, 3)
+	view.Append([]float64{99, 99})
+	// The append must land only in the view: parent snapshot 3 (the entry
+	// just past the view) keeps its value, and the parent's length is
+	// unchanged.
+	if got := parent.At(3)[0]; got != 3 {
+		t.Errorf("parent snapshot 3 clobbered by view append: %v", got)
+	}
+	if parent.Len() != 5 {
+		t.Errorf("parent length = %d after view append", parent.Len())
+	}
+	if view.Len() != 3 || view.At(2)[0] != 99 {
+		t.Errorf("view after append: len %d, last %v", view.Len(), view.At(view.Len()-1))
+	}
+	// Demand entries remain shared parent<->view (the documented view
+	// contract): mutation through the view is visible in the parent.
+	view.At(0)[1] = 42
+	if parent.At(1)[1] != 42 {
+		t.Error("view lost snapshot-vector sharing with parent")
+	}
+}
+
 func TestTraceCloneIndependence(t *testing.T) {
 	tr := NewTrace(2)
 	tr.Append([]float64{1, 2})
