@@ -697,3 +697,68 @@ func itoa(v int) string {
 	}
 	return string(buf[i:])
 }
+
+// BenchmarkNewPathSetParallel measures whole-topology candidate-path
+// precomputation on the large synthetic WAN (220 nodes, 48,180 SD pairs;
+// a reduced 60-node WAN in -short mode, which is what the CI smoke runs):
+//
+//   - seed:       the pre-PathSetOptions cost — an explicit YenSelector,
+//     one worker, a fresh Yen solver (and its allocations) per pair;
+//   - sequential: one worker with per-worker Yen scratch reuse;
+//   - parallel:   all CPUs, scratch reuse (the NewPathSet default). The
+//     speedup over `seed` multiplies the scratch-reuse win by ~the core
+//     count; the result is bitwise identical to `sequential`;
+//   - cached:     reload of the persisted te.PathStore entry, the cost a
+//     warm process pays instead of any Yen solve.
+func BenchmarkNewPathSetParallel(b *testing.B) {
+	var g *graph.Graph
+	if testing.Short() {
+		small, err := graph.RingWithChords(60, 90, 10, 2201)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g = small
+	} else {
+		g = graph.LargeWAN()
+	}
+
+	b.Run("seed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := te.NewPathSetOpt(g, 3, te.PathSetOptions{
+				Workers: 1, Selector: te.YenSelector, SelectorName: te.SelectorYen,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := te.NewPathSetOpt(g, 3, te.PathSetOptions{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := te.NewPathSetOpt(g, 3, te.PathSetOptions{Workers: runtime.NumCPU()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		store, err := te.NewPathStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the cache outside the timed region.
+		if _, err := te.NewPathSetOpt(g, 3, te.PathSetOptions{Store: store}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := te.NewPathSetOpt(g, 3, te.PathSetOptions{Store: store}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -32,6 +32,9 @@ func main() {
 		epochs  = flag.Int("epochs", 0, "training epochs (0 = scale default)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", runtime.NumCPU(), "evaluation worker pool size; results are bitwise identical for any worker count")
+
+		pathCache   = flag.String("pathcache", "", "directory of the on-disk candidate-path cache (shared across figret/experiments/served runs; empty = recompute every run)")
+		pathWorkers = flag.Int("pathworkers", 0, "candidate-path precomputation worker pool size (0 = all CPUs); the path set is bitwise identical for any value")
 	)
 	flag.Parse()
 
@@ -39,7 +42,8 @@ func main() {
 	if *scale == "full" {
 		sc = experiments.ScaleFull
 	}
-	r := runner{scale: sc, T: *T, H: *H, gamma: *gamma, epochs: *epochs, seed: *seed, topo: *topo, workers: *workers}
+	r := runner{scale: sc, T: *T, H: *H, gamma: *gamma, epochs: *epochs, seed: *seed, topo: *topo,
+		workers: *workers, pathCache: *pathCache, pathWorkers: *pathWorkers}
 	if err := r.run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -47,14 +51,16 @@ func main() {
 }
 
 type runner struct {
-	scale   experiments.Scale
-	T       int
-	H       int
-	gamma   float64
-	epochs  int
-	seed    int64
-	topo    string
-	workers int
+	scale       experiments.Scale
+	T           int
+	H           int
+	gamma       float64
+	epochs      int
+	seed        int64
+	topo        string
+	workers     int
+	pathCache   string
+	pathWorkers int
 }
 
 func (r runner) env(defaultTopo string) (*experiments.Env, error) {
@@ -62,7 +68,9 @@ func (r runner) env(defaultTopo string) (*experiments.Env, error) {
 	if topo == "" {
 		topo = defaultTopo
 	}
-	env, err := experiments.NewEnv(topo, r.scale, experiments.EnvOptions{T: r.T, Seed: r.seed})
+	env, err := experiments.NewEnv(topo, r.scale, experiments.EnvOptions{
+		T: r.T, Seed: r.seed, PathCache: r.pathCache, PathWorkers: r.pathWorkers,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -160,7 +168,11 @@ func (r runner) run(exp string) error {
 	case "fig6":
 		for _, topo := range r.topos(graph.TopoGEANT, graph.TopoPFabric) {
 			env, err := experiments.NewEnv(topo, r.scale, experiments.EnvOptions{
-				T: r.T, Seed: r.seed, Selector: baselines.RaeckeSelector(0)})
+				T: r.T, Seed: r.seed, Selector: baselines.RaeckeSelector(0),
+				// The selector name pins the cache key to the default
+				// inflation; bump it if the inflation argument changes.
+				SelectorName: "raecke-8",
+				PathCache:    r.pathCache, PathWorkers: r.pathWorkers})
 			if err != nil {
 				return err
 			}

@@ -9,6 +9,15 @@
 //	figret train    -topo pod-db -T 200 -gamma 1 -epochs 10 -out model.json
 //	figret eval     -topo pod-db -T 200 -model model.json
 //	figret simulate -topo pod-db -delay 2
+//
+// Candidate-path precomputation fans out across all CPUs by default
+// (-pathworkers pins the pool size; results are bitwise identical for any
+// value), and -pathcache names an on-disk path cache shared with the
+// experiments and served commands, so a topology's Yen precomputation is
+// paid once per machine rather than once per process:
+//
+//	figret train -topo cogentco -scale full -pathcache ~/.cache/figret-paths -out model.json
+//	figret eval  -topo cogentco -scale full -pathcache ~/.cache/figret-paths -model model.json
 package main
 
 import (
@@ -33,7 +42,7 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
-		topo   = fs.String("topo", "pod-db", "topology name (geant uscarrier cogentco pfabric pod-db pod-web tor-db tor-web)")
+		topo   = fs.String("topo", "pod-db", "topology name (geant uscarrier cogentco pfabric pod-db pod-web tor-db tor-web large-wan)")
 		scale  = fs.String("scale", "fast", "fast|full topology sizing")
 		T      = fs.Int("T", 200, "trace length")
 		H      = fs.Int("H", 12, "history window")
@@ -44,6 +53,9 @@ func main() {
 		out    = fs.String("out", "", "output file (gen/train)")
 		model  = fs.String("model", "", "model file (eval)")
 		delay  = fs.Int("delay", 1, "controller installation delay in intervals (simulate)")
+
+		pathCache   = fs.String("pathcache", "", "directory of the on-disk candidate-path cache (shared across figret/experiments/served runs; empty = recompute every run)")
+		pathWorkers = fs.Int("pathworkers", 0, "candidate-path precomputation worker pool size (0 = all CPUs); the path set is bitwise identical for any value")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -52,19 +64,20 @@ func main() {
 	if *scale == "full" {
 		sc = experiments.ScaleFull
 	}
+	paths := pathOptions{cache: *pathCache, workers: *pathWorkers}
 
 	var err error
 	switch cmd {
 	case "topo":
-		err = runTopo(*topo, sc)
+		err = runTopo(*topo, sc, paths)
 	case "gen":
-		err = runGen(*topo, sc, *T, *seed, *out)
+		err = runGen(*topo, sc, *T, *seed, *out, paths)
 	case "train":
-		err = runTrain(*topo, sc, *T, *H, *gamma, *epochs, *batch, *seed, *out)
+		err = runTrain(*topo, sc, *T, *H, *gamma, *epochs, *batch, *seed, *out, paths)
 	case "eval":
-		err = runEval(*topo, sc, *T, *H, *seed, *model)
+		err = runEval(*topo, sc, *T, *H, *seed, *model, paths)
 	case "simulate":
-		err = runSimulate(*topo, sc, *T, *H, *gamma, *epochs, *batch, *seed, *delay)
+		err = runSimulate(*topo, sc, *T, *H, *gamma, *epochs, *batch, *seed, *delay, paths)
 	default:
 		usage()
 		os.Exit(2)
@@ -73,6 +86,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "figret:", err)
 		os.Exit(1)
 	}
+}
+
+// pathOptions carries the candidate-path precomputation flags.
+type pathOptions struct {
+	cache   string
+	workers int
 }
 
 func usage() {
@@ -84,12 +103,14 @@ func usage() {
   simulate  run the fluid control-loop simulation with controller delay`)
 }
 
-func buildEnv(topo string, sc experiments.Scale, T int, seed int64) (*experiments.Env, error) {
-	return experiments.NewEnv(topo, sc, experiments.EnvOptions{T: T, Seed: seed})
+func buildEnv(topo string, sc experiments.Scale, T int, seed int64, paths pathOptions) (*experiments.Env, error) {
+	return experiments.NewEnv(topo, sc, experiments.EnvOptions{
+		T: T, Seed: seed, PathCache: paths.cache, PathWorkers: paths.workers,
+	})
 }
 
-func runTopo(topo string, sc experiments.Scale) error {
-	env, err := buildEnv(topo, sc, 10, 1)
+func runTopo(topo string, sc experiments.Scale, paths pathOptions) error {
+	env, err := buildEnv(topo, sc, 10, 1, paths)
 	if err != nil {
 		return err
 	}
@@ -118,11 +139,11 @@ type traceJSON struct {
 	Snapshots [][]float64 `json:"snapshots"`
 }
 
-func runGen(topo string, sc experiments.Scale, T int, seed int64, out string) error {
+func runGen(topo string, sc experiments.Scale, T int, seed int64, out string, paths pathOptions) error {
 	if out == "" {
 		return fmt.Errorf("gen requires -out")
 	}
-	env, err := buildEnv(topo, sc, T, seed)
+	env, err := buildEnv(topo, sc, T, seed, paths)
 	if err != nil {
 		return err
 	}
@@ -137,11 +158,11 @@ func runGen(topo string, sc experiments.Scale, T int, seed int64, out string) er
 	return nil
 }
 
-func runTrain(topo string, sc experiments.Scale, T, H int, gamma float64, epochs, batch int, seed int64, out string) error {
+func runTrain(topo string, sc experiments.Scale, T, H int, gamma float64, epochs, batch int, seed int64, out string, paths pathOptions) error {
 	if out == "" {
 		return fmt.Errorf("train requires -out")
 	}
-	env, err := buildEnv(topo, sc, T, seed)
+	env, err := buildEnv(topo, sc, T, seed, paths)
 	if err != nil {
 		return err
 	}
@@ -163,11 +184,11 @@ func runTrain(topo string, sc experiments.Scale, T, H int, gamma float64, epochs
 	return nil
 }
 
-func runEval(topo string, sc experiments.Scale, T, H int, seed int64, modelPath string) error {
+func runEval(topo string, sc experiments.Scale, T, H int, seed int64, modelPath string, paths pathOptions) error {
 	if modelPath == "" {
 		return fmt.Errorf("eval requires -model")
 	}
-	env, err := buildEnv(topo, sc, T, seed)
+	env, err := buildEnv(topo, sc, T, seed, paths)
 	if err != nil {
 		return err
 	}
@@ -198,8 +219,8 @@ func runEval(topo string, sc experiments.Scale, T, H int, seed int64, modelPath 
 	return nil
 }
 
-func runSimulate(topo string, sc experiments.Scale, T, H int, gamma float64, epochs, batch int, seed int64, delay int) error {
-	env, err := buildEnv(topo, sc, T, seed)
+func runSimulate(topo string, sc experiments.Scale, T, H int, gamma float64, epochs, batch int, seed int64, delay int, paths pathOptions) error {
+	env, err := buildEnv(topo, sc, T, seed, paths)
 	if err != nil {
 		return err
 	}

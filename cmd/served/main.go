@@ -19,6 +19,15 @@
 //
 // With -bootstrap=false the daemon starts without models: routing serves
 // the uniform fallback until a checkpoint is uploaded.
+//
+// Startup cost is dominated by candidate-path precomputation (Yen's
+// algorithm over all SD pairs of every served topology). It fans out
+// across all CPUs by default (-pathworkers pins the pool), and -pathcache
+// names an on-disk path cache shared with the figret and experiments
+// CLIs: with a warm cache the daemon skips the solve entirely and comes
+// up in seconds even for large WANs:
+//
+//	served -topos cogentco,uscarrier -scale full -pathcache /var/cache/figret-paths
 package main
 
 import (
@@ -49,6 +58,9 @@ func main() {
 		history   = flag.Int("history", 256, "sliding demand-window capacity per topology")
 		churn     = flag.Float64("churn", 0, "per-interval L1 churn limit (0 = unlimited)")
 		drift     = flag.Bool("drift", true, "enable drift-triggered background retraining")
+
+		pathCache   = flag.String("pathcache", "", "directory of the on-disk candidate-path cache; a warm cache brings multi-topology daemons up in seconds instead of re-running Yen per process")
+		pathWorkers = flag.Int("pathworkers", 0, "candidate-path precomputation worker pool size (0 = all CPUs); the path set is bitwise identical for any value")
 	)
 	flag.Parse()
 
@@ -64,7 +76,7 @@ func main() {
 		if topo == "" {
 			continue
 		}
-		if err := addTopology(srv, reg, topo, sc, *bootstrap, *T, *H, *gamma, *epochs, *batch, *seed, *history, *churn, *drift); err != nil {
+		if err := addTopology(srv, reg, topo, sc, *bootstrap, *T, *H, *gamma, *epochs, *batch, *seed, *history, *churn, *drift, *pathCache, *pathWorkers); err != nil {
 			log.Fatalf("served: %s: %v", topo, err)
 		}
 	}
@@ -77,8 +89,10 @@ func main() {
 
 func addTopology(srv *serve.Server, reg *serve.Registry, topo string, sc experiments.Scale,
 	bootstrap bool, T, H int, gamma float64, epochs, batch int, seed int64,
-	history int, churn float64, drift bool) error {
-	env, err := experiments.NewEnv(topo, sc, experiments.EnvOptions{T: T, Seed: seed})
+	history int, churn float64, drift bool, pathCache string, pathWorkers int) error {
+	env, err := experiments.NewEnv(topo, sc, experiments.EnvOptions{
+		T: T, Seed: seed, PathCache: pathCache, PathWorkers: pathWorkers,
+	})
 	if err != nil {
 		return err
 	}

@@ -127,6 +127,8 @@ func fastGraph(name string) (*graph.Graph, error) {
 		return graph.RandomRegularish(20, 60, 10, 155)
 	case graph.TopoToRWEB:
 		return graph.RandomRegularish(26, 91, 10, 324)
+	case graph.TopoLargeWAN:
+		return graph.RingWithChords(44, 66, 10, 2201)
 	default:
 		return nil, fmt.Errorf("experiments: unknown topology %q", name)
 	}
@@ -141,8 +143,22 @@ type EnvOptions struct {
 	// Seed defaults to 1.
 	Seed int64
 	// Selector overrides path selection (default Yen; Figure 6 passes the
-	// Räcke-style selector).
+	// Räcke-style selector). Custom selectors must be safe for concurrent
+	// use (path precomputation runs on a worker pool).
 	Selector te.PathSelector
+	// SelectorName content-addresses a custom Selector in the path cache;
+	// leaving it empty with a custom Selector disables caching for that
+	// environment (see te.PathSetOptions).
+	SelectorName string
+	// PathWorkers sizes the candidate-path precomputation worker pool
+	// (0 = runtime.NumCPU()). The path set is bitwise identical for any
+	// value.
+	PathWorkers int
+	// PathCache, when non-empty, is the directory of an on-disk
+	// te.PathStore: the trainer, the evaluation engine and the serving
+	// daemon then share one Yen precomputation per (topology, K,
+	// selector) across processes instead of each recomputing at startup.
+	PathCache string
 }
 
 // NewEnv builds the evaluation environment for a named topology.
@@ -170,7 +186,19 @@ func NewEnv(topo string, scale Scale, opt EnvOptions) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	ps, err := te.NewPathSet(g, opt.K, opt.Selector)
+	pso := te.PathSetOptions{
+		Workers:      opt.PathWorkers,
+		Selector:     opt.Selector,
+		SelectorName: opt.SelectorName,
+	}
+	if opt.PathCache != "" {
+		store, err := te.NewPathStore(opt.PathCache)
+		if err != nil {
+			return nil, err
+		}
+		pso.Store = store
+	}
+	ps, err := te.NewPathSetOpt(g, opt.K, pso)
 	if err != nil {
 		return nil, err
 	}

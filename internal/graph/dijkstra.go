@@ -88,22 +88,48 @@ func (q *pq) Pop() interface{} {
 	return it
 }
 
+// dijkstraScratch holds the per-search working arrays of Dijkstra's
+// algorithm so repeated searches (Yen's algorithm runs hundreds per pair,
+// path precomputation millions per topology) reuse one set of buffers
+// instead of allocating three O(V) slices plus a heap per call.
+type dijkstraScratch struct {
+	dist []float64
+	prev []int
+	done []bool
+	q    pq
+}
+
+func newDijkstraScratch(n int) *dijkstraScratch {
+	return &dijkstraScratch{
+		dist: make([]float64, n),
+		prev: make([]int, n),
+		done: make([]bool, n),
+	}
+}
+
 // ShortestPath returns the minimum-weight path from src to dst under w, and
 // whether one exists. banVertex and banEdge, if non-nil, exclude vertices and
 // edge indices from the search (used by Yen's algorithm); banVertex[src] must
 // be false.
 func (g *Graph) ShortestPath(src, dst int, w EdgeWeight, banVertex []bool, banEdge []bool) (Path, float64, bool) {
-	dist := make([]float64, g.n)
-	prev := make([]int, g.n)
-	done := make([]bool, g.n)
+	return g.shortestPathWith(newDijkstraScratch(g.n), src, dst, w, banVertex, banEdge)
+}
+
+// shortestPathWith is ShortestPath on caller-owned scratch. The returned
+// path is freshly allocated; only the working arrays are reused, so the
+// result is identical to ShortestPath.
+func (g *Graph) shortestPathWith(sc *dijkstraScratch, src, dst int, w EdgeWeight, banVertex []bool, banEdge []bool) (Path, float64, bool) {
+	dist, prev, done := sc.dist, sc.prev, sc.done
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		prev[i] = -1
+		done[i] = false
 	}
 	dist[src] = 0
-	q := pq{{v: src, dist: 0}}
+	sc.q = append(sc.q[:0], pqItem{v: src, dist: 0})
+	q := &sc.q
 	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
+		it := heap.Pop(q).(pqItem)
 		if done[it.v] || it.dist > dist[it.v] {
 			continue
 		}
@@ -123,7 +149,7 @@ func (g *Graph) ShortestPath(src, dst int, w EdgeWeight, banVertex []bool, banEd
 			if nd < dist[e.To] {
 				dist[e.To] = nd
 				prev[e.To] = it.v
-				heap.Push(&q, pqItem{v: e.To, dist: nd})
+				heap.Push(q, pqItem{v: e.To, dist: nd})
 			}
 		}
 	}

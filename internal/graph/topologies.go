@@ -144,6 +144,7 @@ const (
 	TopoPoDWEB    = "pod-web"
 	TopoToRDB     = "tor-db"
 	TopoToRWEB    = "tor-web"
+	TopoLargeWAN  = "large-wan"
 )
 
 // AllTopologies lists the eight evaluation topologies in the paper's order.
@@ -232,6 +233,20 @@ func ToRWEB() *Graph {
 	return g
 }
 
+// LargeWAN returns a 220-node / 660-directed-edge synthetic WAN (330
+// links), larger than any of the paper's Table 1 WANs. It exists to stress
+// whole-topology candidate-path precomputation: with 48,180 SD pairs it is
+// the workload BenchmarkNewPathSetParallel measures the worker-pool and
+// PathStore speedups on. It is not part of AllTopologies (the paper's
+// evaluation set) but is served by ByName as "large-wan".
+func LargeWAN() *Graph {
+	g, err := RingWithChords(220, 330, 10, 2201)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 // ByName returns the named evaluation topology. Names are the Topo*
 // constants; unknown names yield an error.
 func ByName(name string) (*Graph, error) {
@@ -252,6 +267,8 @@ func ByName(name string) (*Graph, error) {
 		return ToRDB(), nil
 	case TopoToRWEB:
 		return ToRWEB(), nil
+	case TopoLargeWAN:
+		return LargeWAN(), nil
 	default:
 		return nil, fmt.Errorf("graph: unknown topology %q", name)
 	}

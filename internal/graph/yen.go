@@ -13,19 +13,59 @@ import (
 // sequence for determinism). Fewer than k paths are returned when the graph
 // does not contain k distinct simple paths.
 func (g *Graph) KShortestPaths(src, dst, k int, w EdgeWeight) []Path {
+	return NewYenSolver(g).KShortestPaths(src, dst, k, w)
+}
+
+// yenCand is one Yen candidate path with its cached total weight.
+type yenCand struct {
+	p    Path
+	cost float64
+}
+
+// YenSolver runs Yen's K-shortest-paths queries on one graph with reusable
+// scratch: the Dijkstra working arrays, the spur-search ban masks and the
+// candidate list are allocated once and shared across queries. Whole-topology
+// precomputation issues one query per SD pair with several Dijkstra runs
+// each; reusing the scratch removes that per-query allocation churn, which
+// keeps a worker pool of solvers GC-quiet (the compute itself still
+// dominates single-thread wall clock).
+//
+// Results are identical to Graph.KShortestPaths — only working storage is
+// reused; every returned path is freshly allocated. A YenSolver is NOT safe
+// for concurrent use: give each goroutine its own solver (they are cheap,
+// three O(V) and two O(E) slices).
+type YenSolver struct {
+	g         *Graph
+	sc        *dijkstraScratch
+	banEdge   []bool
+	banVertex []bool
+	cands     []yenCand
+}
+
+// NewYenSolver returns a solver bound to g. The graph must not gain vertices
+// or edges while the solver is in use.
+func NewYenSolver(g *Graph) *YenSolver {
+	return &YenSolver{
+		g:         g,
+		sc:        newDijkstraScratch(g.n),
+		banEdge:   make([]bool, len(g.edges)),
+		banVertex: make([]bool, g.n),
+	}
+}
+
+// KShortestPaths is Graph.KShortestPaths evaluated on the solver's scratch.
+func (ys *YenSolver) KShortestPaths(src, dst, k int, w EdgeWeight) []Path {
 	if k <= 0 || src == dst {
 		return nil
 	}
-	first, _, ok := g.ShortestPath(src, dst, w, nil, nil)
+	g := ys.g
+	first, _, ok := g.shortestPathWith(ys.sc, src, dst, w, nil, nil)
 	if !ok {
 		return nil
 	}
-	accepted := []Path{first}
-	type cand struct {
-		p    Path
-		cost float64
-	}
-	var candidates []cand
+	accepted := make([]Path, 0, k)
+	accepted = append(accepted, first)
+	candidates := ys.cands[:0]
 
 	pathCost := func(p Path) float64 {
 		var c float64
@@ -45,8 +85,8 @@ func (g *Graph) KShortestPaths(src, dst, k int, w EdgeWeight) []Path {
 		return false
 	}
 
-	banEdge := make([]bool, len(g.edges))
-	banVertex := make([]bool, g.n)
+	banEdge := ys.banEdge
+	banVertex := ys.banVertex
 
 	for len(accepted) < k {
 		prevPath := accepted[len(accepted)-1]
@@ -75,14 +115,14 @@ func (g *Graph) KShortestPaths(src, dst, k int, w EdgeWeight) []Path {
 				banVertex[v] = true
 			}
 
-			spurPath, _, ok := g.ShortestPath(spur, dst, w, banVertex, banEdge)
+			spurPath, _, ok := g.shortestPathWith(ys.sc, spur, dst, w, banVertex, banEdge)
 			if !ok {
 				continue
 			}
 			total := append(Path(nil), root[:len(root)-1]...)
 			total = append(total, spurPath...)
 			if !haveCand(total) {
-				candidates = append(candidates, cand{p: total, cost: pathCost(total)})
+				candidates = append(candidates, yenCand{p: total, cost: pathCost(total)})
 			}
 		}
 		if len(candidates) == 0 {
@@ -95,7 +135,10 @@ func (g *Graph) KShortestPaths(src, dst, k int, w EdgeWeight) []Path {
 			return lessPath(candidates[a].p, candidates[b].p)
 		})
 		best := candidates[0]
-		candidates = candidates[1:]
+		// Pop-front by copying down so the candidate buffer keeps its
+		// backing array across queries.
+		copy(candidates, candidates[1:])
+		candidates = candidates[:len(candidates)-1]
 		dup := false
 		for _, ap := range accepted {
 			if ap.Equal(best.p) {
@@ -107,6 +150,7 @@ func (g *Graph) KShortestPaths(src, dst, k int, w EdgeWeight) []Path {
 			accepted = append(accepted, best.p)
 		}
 	}
+	ys.cands = candidates[:0]
 	sort.SliceStable(accepted, func(a, b int) bool {
 		ca, cb := pathCost(accepted[a]), pathCost(accepted[b])
 		if ca != cb {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -145,12 +146,19 @@ func (m *metricsRecorder) snapshot() Metrics {
 }
 
 // quantileDur returns the q'th quantile of sorted durations by
-// nearest-rank.
+// nearest-rank (ceil(q·n) ranks from the bottom): p99 of two samples is
+// the larger one, so tail quantiles are never under-reported.
 func quantileDur(sorted []time.Duration, q float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)-1))
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
 	return sorted[i]
 }
 

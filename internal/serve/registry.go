@@ -10,6 +10,13 @@
 // over an HTTP/JSON API that Replay can drive closed-loop from a recorded
 // trace. The offline components are used unchanged — the server is purely
 // additive, so anything trained or evaluated offline serves verbatim.
+//
+// The path sets registered with AddTopology are the serving side of the
+// shared candidate-path precomputation layer (te.NewPathSetOpt +
+// te.PathStore, DESIGN.md §8): cmd/served builds them through the same
+// parallel, cache-backed constructor as the trainer and the evaluation
+// engine, so a daemon restarting against a warm cache skips the Yen solves
+// that otherwise dominate startup.
 package serve
 
 import (

@@ -224,7 +224,13 @@ func (s *Server) handleFailures(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := c.ReportFailures(req.Links); err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		// ErrClosed is the documented lifecycle condition (see
+		// Controller), mapped to 503 exactly as on the snapshot path.
+		if errors.Is(err, ErrClosed) {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		} else {
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, routingResponse(c.Topology(), c.Decision(), true))

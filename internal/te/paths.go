@@ -3,7 +3,9 @@ package te
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"figret/internal/graph"
 )
@@ -17,6 +19,10 @@ import (
 type PathSet struct {
 	G     *graph.Graph
 	Pairs Pairs
+	// K is the candidate-path budget the set was computed with (paths per
+	// pair where the topology allows; pairs may hold fewer). PathStore
+	// uses it to content-address the set on disk.
+	K int
 
 	// Paths is the flat list of all candidate paths across all pairs.
 	Paths []graph.Path
@@ -50,45 +56,195 @@ func YenSelector(g *graph.Graph, s, d, k int) []graph.Path {
 	return g.KShortestPaths(s, d, k, graph.HopWeight)
 }
 
+// SelectorYen is the content-address name of the default Yen selector.
+const SelectorYen = "yen"
+
+// PathSetOptions configures NewPathSetOpt.
+type PathSetOptions struct {
+	// Workers sizes the precomputation worker pool; <= 0 selects
+	// runtime.NumCPU(), 1 runs sequentially. The resulting PathSet is
+	// bitwise identical for every worker count: each pair's candidate
+	// list lands in an index-addressed slot and the set is flattened in
+	// pair order, so scheduling never reorders output.
+	Workers int
+	// Selector overrides path selection. Nil selects Yen's algorithm run
+	// on per-worker solvers with reused scratch (graph.YenSolver). A
+	// non-nil Selector must be safe for concurrent use when Workers != 1
+	// (it is called from multiple goroutines with distinct pairs).
+	Selector PathSelector
+	// SelectorName content-addresses the selector for Store lookups.
+	// Defaults to SelectorYen when Selector is nil. A custom Selector
+	// with an empty SelectorName disables the Store (an unnamed selector
+	// cannot be addressed on disk).
+	SelectorName string
+	// Store, when non-nil, is consulted before computing: a cache hit
+	// (same topology content hash, k and selector name) reloads the
+	// persisted set instead of solving, and a miss persists the freshly
+	// computed set for the next process. Corrupt or stale entries are
+	// treated as misses and overwritten (self-healing), and persistence
+	// is best-effort: a failed write (read-only or full cache volume)
+	// never discards the freshly computed set — the next process simply
+	// recomputes. Call PathStore.Save directly to treat a write failure
+	// as an error.
+	Store *PathStore
+}
+
 // NewPathSet computes candidate paths for every SD pair of g using sel
 // (k paths per pair where the topology allows). It returns an error if any
-// pair has no path (disconnected topology).
+// pair has no path (disconnected topology). Precomputation fans out across
+// runtime.NumCPU() workers; use NewPathSetOpt to pin the worker count or
+// attach an on-disk PathStore. Output is identical for any worker count.
 func NewPathSet(g *graph.Graph, k int, sel PathSelector) (*PathSet, error) {
+	return NewPathSetOpt(g, k, PathSetOptions{Selector: sel})
+}
+
+// NewPathSetOpt is NewPathSet with explicit precomputation options.
+func NewPathSetOpt(g *graph.Graph, k int, opt PathSetOptions) (*PathSet, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("te: path count k=%d must be positive", k)
 	}
-	if sel == nil {
-		sel = YenSelector
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.NumCPU()
 	}
-	n := g.NumVertices()
-	pairs := NewPairs(n)
+	selName := opt.SelectorName
+	if opt.Selector == nil && selName == "" {
+		selName = SelectorYen
+	}
+	if opt.Store != nil && selName != "" {
+		if ps, err := opt.Store.Load(g, k, selName); err == nil {
+			return ps, nil
+		} else if !IsPathCacheMiss(err) {
+			return nil, err
+		}
+	}
+	pairs := NewPairs(g.NumVertices())
+	perPair, err := computePairPaths(g, k, pairs, opt)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := assemblePathSet(g, k, pairs, perPair)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Store != nil && selName != "" {
+		// Best-effort: the computed set is valid regardless of whether
+		// it could be persisted; failing startup over a cache write
+		// would invert the store's purpose.
+		_ = opt.Store.Save(ps, selName)
+	}
+	return ps, nil
+}
+
+// computePairPaths runs the per-pair selector over all SD pairs on a worker
+// pool and returns the candidate lists in index-addressed slots (slot pi
+// holds pair pi's paths), so the output layout is independent of worker
+// count and scheduling. Pair indices are claimed in ascending order and a
+// failure stops further claims; because every claimed index runs to
+// completion, the smallest failing pair is always among the completed ones
+// and the returned error is deterministic.
+func computePairPaths(g *graph.Graph, k int, pairs Pairs, opt PathSetOptions) ([][]graph.Path, error) {
+	count := pairs.Count()
+	perPair := make([][]graph.Path, count)
+	// newSel builds one worker's selector: the shared custom selector, or
+	// a worker-owned Yen solver whose Dijkstra/spur scratch is reused
+	// across every pair the worker claims.
+	newSel := func() PathSelector {
+		if opt.Selector != nil {
+			return opt.Selector
+		}
+		ys := graph.NewYenSolver(g)
+		return func(g *graph.Graph, s, d, k int) []graph.Path {
+			return ys.KShortestPaths(s, d, k, graph.HopWeight)
+		}
+	}
+	solve := func(sel PathSelector, pi int) error {
+		s, d := pairs.SD(pi)
+		cand := sel(g, s, d, k)
+		if len(cand) == 0 {
+			return fmt.Errorf("te: no path from %d to %d", s, d)
+		}
+		perPair[pi] = cand
+		return nil
+	}
+	workers := opt.Workers
+	if workers > count {
+		workers = count
+	}
+	if workers == 1 {
+		sel := newSel()
+		for pi := 0; pi < count; pi++ {
+			if err := solve(sel, pi); err != nil {
+				return nil, err
+			}
+		}
+		return perPair, nil
+	}
+	errs := make([]error, count)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sel := newSel()
+			for {
+				// Check-then-claim, exactly as eval.Parallel: indices are
+				// claimed ascending, so every index below a failing one
+				// has been claimed and completes, making the smallest
+				// failing index deterministic.
+				if failed.Load() {
+					return
+				}
+				pi := int(next.Add(1)) - 1
+				if pi >= count {
+					return
+				}
+				if err := solve(sel, pi); err != nil {
+					errs[pi] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return perPair, nil
+}
+
+// assemblePathSet flattens index-addressed per-pair candidate lists into a
+// PathSet in pair order — the same order the original sequential
+// implementation appended in, which is what keeps parallel output bitwise
+// identical to sequential. It validates every path against g (also the
+// integrity backstop for PathStore loads).
+func assemblePathSet(g *graph.Graph, k int, pairs Pairs, perPair [][]graph.Path) (*PathSet, error) {
 	ps := &PathSet{
 		G:         g,
 		Pairs:     pairs,
+		K:         k,
 		PairPaths: make([][]int, pairs.Count()),
 	}
-	for s := 0; s < n; s++ {
-		for d := 0; d < n; d++ {
-			if s == d {
-				continue
+	for pi, cand := range perPair {
+		if len(cand) == 0 {
+			s, d := pairs.SD(pi)
+			return nil, fmt.Errorf("te: no path from %d to %d", s, d)
+		}
+		for _, p := range cand {
+			eids, ok := p.Edges(g)
+			if !ok {
+				s, d := pairs.SD(pi)
+				return nil, fmt.Errorf("te: selector returned invalid path %v for (%d,%d)", p, s, d)
 			}
-			pi := pairs.Index(s, d)
-			cand := sel(g, s, d, k)
-			if len(cand) == 0 {
-				return nil, fmt.Errorf("te: no path from %d to %d", s, d)
-			}
-			for _, p := range cand {
-				eids, ok := p.Edges(g)
-				if !ok {
-					return nil, fmt.Errorf("te: selector returned invalid path %v for (%d,%d)", p, s, d)
-				}
-				id := len(ps.Paths)
-				ps.Paths = append(ps.Paths, p)
-				ps.PairOf = append(ps.PairOf, pi)
-				ps.EdgeIDs = append(ps.EdgeIDs, eids)
-				ps.Cap = append(ps.Cap, p.Capacity(g))
-				ps.PairPaths[pi] = append(ps.PairPaths[pi], id)
-			}
+			id := len(ps.Paths)
+			ps.Paths = append(ps.Paths, p)
+			ps.PairOf = append(ps.PairOf, pi)
+			ps.EdgeIDs = append(ps.EdgeIDs, eids)
+			ps.Cap = append(ps.Cap, p.Capacity(g))
+			ps.PairPaths[pi] = append(ps.PairPaths[pi], id)
 		}
 	}
 	ps.ensureCSR()

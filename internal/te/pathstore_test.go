@@ -1,0 +1,280 @@
+package te
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"figret/internal/graph"
+)
+
+// samePathSet asserts every exported structure (and the CSR mirror) of two
+// path sets is bitwise identical.
+func samePathSet(t *testing.T, got, want *PathSet) {
+	t.Helper()
+	if got.NumPaths() != want.NumPaths() {
+		t.Fatalf("%d paths, want %d", got.NumPaths(), want.NumPaths())
+	}
+	for p := range want.Paths {
+		if !got.Paths[p].Equal(want.Paths[p]) {
+			t.Fatalf("path %d = %v, want %v", p, got.Paths[p], want.Paths[p])
+		}
+		if got.PairOf[p] != want.PairOf[p] {
+			t.Fatalf("PairOf[%d] = %d, want %d", p, got.PairOf[p], want.PairOf[p])
+		}
+		if got.Cap[p] != want.Cap[p] {
+			t.Fatalf("Cap[%d] = %v, want %v", p, got.Cap[p], want.Cap[p])
+		}
+		if len(got.EdgeIDs[p]) != len(want.EdgeIDs[p]) {
+			t.Fatalf("EdgeIDs[%d] length mismatch", p)
+		}
+		for i := range want.EdgeIDs[p] {
+			if got.EdgeIDs[p][i] != want.EdgeIDs[p][i] {
+				t.Fatalf("EdgeIDs[%d][%d] = %d, want %d", p, i, got.EdgeIDs[p][i], want.EdgeIDs[p][i])
+			}
+		}
+	}
+	for pi := range want.PairPaths {
+		if len(got.PairPaths[pi]) != len(want.PairPaths[pi]) {
+			t.Fatalf("PairPaths[%d] length mismatch", pi)
+		}
+		for i := range want.PairPaths[pi] {
+			if got.PairPaths[pi][i] != want.PairPaths[pi][i] {
+				t.Fatalf("PairPaths[%d][%d] mismatch", pi, i)
+			}
+		}
+	}
+	gIDs, gStart := got.EdgeCSR()
+	wIDs, wStart := want.EdgeCSR()
+	if len(gIDs) != len(wIDs) || len(gStart) != len(wStart) {
+		t.Fatal("CSR layout size mismatch")
+	}
+	for i := range wIDs {
+		if gIDs[i] != wIDs[i] {
+			t.Fatalf("csrEdges[%d] mismatch", i)
+		}
+	}
+	for i := range wStart {
+		if gStart[i] != wStart[i] {
+			t.Fatalf("csrStart[%d] mismatch", i)
+		}
+	}
+}
+
+// TestNewPathSetParallelBitwise is the determinism contract of the worker
+// pool: any worker count produces exactly the sequential path set.
+func TestNewPathSetParallelBitwise(t *testing.T) {
+	g := graph.GEANT()
+	want, err := NewPathSetOpt(g, 3, PathSetOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 5, 8} {
+		got, err := NewPathSetOpt(g, 3, PathSetOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePathSet(t, got, want)
+	}
+	// The legacy constructor (which now defaults to all CPUs) must agree.
+	legacy, err := NewPathSet(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePathSet(t, legacy, want)
+}
+
+// TestNewPathSetParallelCustomSelector runs the pool over a user-supplied
+// (concurrency-safe) selector and checks worker-count independence there
+// too.
+func TestNewPathSetParallelCustomSelector(t *testing.T) {
+	g := graph.Triangle()
+	sel := func(g *graph.Graph, s, d, k int) []graph.Path {
+		// Shortest path only, ignoring k: a deliberately odd selector.
+		return g.KShortestPaths(s, d, 1, graph.HopWeight)
+	}
+	want, err := NewPathSetOpt(g, 3, PathSetOptions{Workers: 1, Selector: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewPathSetOpt(g, 3, PathSetOptions{Workers: 4, Selector: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePathSet(t, got, want)
+	if want.NumPaths() != want.Pairs.Count() {
+		t.Fatalf("custom selector should yield 1 path per pair, got %d for %d pairs",
+			want.NumPaths(), want.Pairs.Count())
+	}
+}
+
+// TestNewPathSetParallelDisconnected pins the deterministic error: the
+// smallest unreachable pair is reported regardless of worker count.
+func TestNewPathSetParallelDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 0, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 2, 1)
+	want := "te: no path from 0 to 2"
+	for _, workers := range []int{1, 2, 8} {
+		_, err := NewPathSetOpt(g, 3, PathSetOptions{Workers: workers})
+		if err == nil || err.Error() != want {
+			t.Fatalf("workers=%d: err = %v, want %q", workers, err, want)
+		}
+	}
+}
+
+func TestPathStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewPathStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.GEANT()
+	want, err := NewPathSetOpt(g, 3, PathSetOptions{Workers: 2, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("store holds %d files, want 1", len(entries))
+	}
+	// Direct reload.
+	got, err := store.Load(g, 3, SelectorYen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePathSet(t, got, want)
+	if got.K != 3 {
+		t.Fatalf("loaded K = %d, want 3", got.K)
+	}
+	// Through the constructor (cache hit path).
+	hit, err := NewPathSetOpt(g, 3, PathSetOptions{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePathSet(t, hit, want)
+}
+
+func TestPathStoreMissOnDifferentKey(t *testing.T) {
+	store, err := NewPathStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.GEANT()
+	if _, err := NewPathSetOpt(g, 3, PathSetOptions{Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(g, 2, SelectorYen); !IsPathCacheMiss(err) {
+		t.Fatalf("different k: err = %v, want cache miss", err)
+	}
+	if _, err := store.Load(g, 3, "raecke-8"); !IsPathCacheMiss(err) {
+		t.Fatalf("different selector: err = %v, want cache miss", err)
+	}
+	other := graph.Triangle()
+	if _, err := store.Load(other, 3, SelectorYen); !IsPathCacheMiss(err) {
+		t.Fatalf("different topology: err = %v, want cache miss", err)
+	}
+}
+
+// TestPathStoreCorruptionSelfHeals: a corrupt entry is a miss, and the next
+// constructor call recomputes and overwrites it with a valid one.
+func TestPathStoreCorruptionSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewPathStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.GEANT()
+	want, err := NewPathSetOpt(g, 3, PathSetOptions{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	name := filepath.Join(dir, entries[0].Name())
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, corrupt := range [][]byte{
+		flipByte(data, len(data)/2), // bit rot in the middle
+		data[:len(data)/3],          // truncation
+		{},                          // empty file
+	} {
+		if err := os.WriteFile(name, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Load(g, 3, SelectorYen); !IsPathCacheMiss(err) {
+			t.Fatalf("corrupt entry: err = %v, want cache miss", err)
+		}
+		healed, err := NewPathSetOpt(g, 3, PathSetOptions{Store: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePathSet(t, healed, want)
+		// The rewrite must be valid on disk again.
+		reloaded, err := store.Load(g, 3, SelectorYen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePathSet(t, reloaded, want)
+		data, err = os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func flipByte(data []byte, i int) []byte {
+	out := append([]byte(nil), data...)
+	out[i] ^= 0xff
+	return out
+}
+
+// TestPathStoreCustomSelectorUnnamed: a custom selector without a name must
+// bypass the store entirely (nothing written, nothing read).
+func TestPathStoreCustomSelectorUnnamed(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewPathStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := func(g *graph.Graph, s, d, k int) []graph.Path {
+		return g.KShortestPaths(s, d, k, graph.HopWeight)
+	}
+	if _, err := NewPathSetOpt(graph.Triangle(), 3, PathSetOptions{Selector: sel, Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("unnamed selector wrote %d cache entries, want 0", len(entries))
+	}
+}
+
+// TestPathStoreSaveBestEffort: an unwritable cache must not fail the
+// constructor — the computed set is returned and the next run recomputes.
+func TestPathStoreSaveBestEffort(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewPathStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	g := graph.Triangle()
+	ps, err := NewPathSetOpt(g, 3, PathSetOptions{Store: store})
+	if err != nil {
+		t.Fatalf("unwritable store failed the compute: %v", err)
+	}
+	want, err := NewPathSetOpt(g, 3, PathSetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePathSet(t, ps, want)
+}

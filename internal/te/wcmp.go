@@ -18,6 +18,13 @@ import (
 // tableSize. tableSize must be positive. Weights are assigned by the
 // largest-remainder method, which minimizes the per-path L1 rounding error
 // among all integer apportionments.
+//
+// Pairs whose ratios are all (approximately) zero — e.g. disconnected by
+// te.Reroute after their every candidate path failed — are preserved as
+// all-zero rather than apportioned: quantization never resurrects a failed
+// path. Every other pair's weights sum to exactly tableSize even when
+// floating-point drift pushes its ratio sum slightly off 1, so the output
+// always satisfies WCMPWeights.
 func QuantizeWCMP(c *Config, tableSize int) (*Config, error) {
 	if tableSize <= 0 {
 		return nil, fmt.Errorf("te: WCMP table size %d must be positive", tableSize)
@@ -29,8 +36,23 @@ func QuantizeWCMP(c *Config, tableSize int) (*Config, error) {
 	return out, nil
 }
 
-// quantizePair rounds the ratios at indices pp to multiples of 1/total.
+// quantizePair rounds the ratios at indices pp to multiples of 1/total:
+// zero-mass pairs become exactly zero, positive-mass pairs become integer
+// weights summing to exactly total.
 func quantizePair(r []float64, pp []int, total int) {
+	var mass float64
+	for _, p := range pp {
+		mass += r[p]
+	}
+	if mass < 1e-9 {
+		// Disconnected pair: no traffic to apportion. Clearing (rather
+		// than largest-remainder over an all-zero vector, which would
+		// hand every path one slot) keeps failed paths at ratio 0.
+		for _, p := range pp {
+			r[p] = 0
+		}
+		return
+	}
 	type rem struct {
 		p    int
 		frac float64
@@ -46,9 +68,7 @@ func quantizePair(r []float64, pp []int, total int) {
 		floorSum += w
 		rems = append(rems, rem{p: p, frac: exact - float64(w)})
 	}
-	// Distribute the remaining slots to the largest remainders
-	// (deterministic tie-break on path index).
-	missing := total - floorSum
+	// Sort by descending remainder (deterministic tie-break on path index).
 	for i := 0; i < len(rems); i++ {
 		for j := i + 1; j < len(rems); j++ {
 			if rems[j].frac > rems[i].frac+1e-15 ||
@@ -57,8 +77,23 @@ func quantizePair(r []float64, pp []int, total int) {
 			}
 		}
 	}
-	for i := 0; i < missing && i < len(rems); i++ {
-		weights[rems[i].p]++
+	// Distribute missing slots to the largest remainders, cycling if the
+	// deficit exceeds the path count (ratios summing well below 1).
+	missing := total - floorSum
+	for i := 0; missing > 0; i++ {
+		weights[rems[i%len(rems)].p]++
+		missing--
+	}
+	// Strip excess slots from the smallest remainders (ratios summing
+	// above 1 can make floorSum > total), never driving a weight negative.
+	for i := len(rems) - 1; missing < 0; i-- {
+		if i < 0 {
+			i = len(rems) - 1
+		}
+		if w := weights[rems[i].p]; w > 0 {
+			weights[rems[i].p] = w - 1
+			missing++
+		}
 	}
 	inv := 1 / float64(total)
 	for _, p := range pp {
@@ -80,7 +115,8 @@ func WCMPError(c, q *Config) float64 {
 
 // WCMPWeights extracts the integer weight table of a quantized
 // configuration for one pair (weights per candidate path, summing to
-// tableSize). It errors if the configuration is not a multiple of
+// tableSize — or all zero for a pair disconnected by failures, which
+// carries no traffic). It errors if the configuration is not a multiple of
 // 1/tableSize.
 func WCMPWeights(c *Config, pair, tableSize int) ([]int, error) {
 	pp := c.ps.PairPaths[pair]
@@ -95,8 +131,8 @@ func WCMPWeights(c *Config, pair, tableSize int) ([]int, error) {
 		out[i] = int(rounded)
 		sum += out[i]
 	}
-	if sum != tableSize {
-		return nil, fmt.Errorf("te: pair %d weights sum to %d, want %d", pair, sum, tableSize)
+	if sum != tableSize && sum != 0 {
+		return nil, fmt.Errorf("te: pair %d weights sum to %d, want %d or 0", pair, sum, tableSize)
 	}
 	return out, nil
 }

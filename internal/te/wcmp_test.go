@@ -157,3 +157,163 @@ func TestQuantizeZeroPair(t *testing.T) {
 		}
 	}
 }
+
+// TestQuantizeZeroMassPairStaysZero: a pair whose every ratio is ~0 (the
+// state te.Reroute leaves a fully disconnected pair in) must quantize to
+// all-zero weights, not be resurrected with one slot per path.
+func TestQuantizeZeroMassPairStaysZero(t *testing.T) {
+	ps := trianglePS(t)
+	c := UniformConfig(ps)
+	dead := 2 // zero out pair 2's paths
+	for _, p := range ps.PairPaths[dead] {
+		c.R[p] = 0
+	}
+	q, err := QuantizeWCMP(c, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps.PairPaths[dead] {
+		if q.R[p] != 0 {
+			t.Fatalf("dead pair path %d resurrected with ratio %v", p, q.R[p])
+		}
+	}
+	w, err := WCMPWeights(q, dead, 16)
+	if err != nil {
+		t.Fatalf("WCMPWeights on zero-mass pair: %v", err)
+	}
+	for i, v := range w {
+		if v != 0 {
+			t.Fatalf("zero-mass weight[%d] = %d, want 0", i, v)
+		}
+	}
+	// Live pairs still get full tables.
+	for pi := range ps.PairPaths {
+		if pi == dead {
+			continue
+		}
+		w, err := WCMPWeights(q, pi, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for _, v := range w {
+			sum += v
+		}
+		if sum != 16 {
+			t.Fatalf("pair %d weights sum to %d, want 16", pi, sum)
+		}
+	}
+}
+
+// TestQuantizeOverflowMassStripsExcess: ratios summing slightly above 1 can
+// make the floor allocation exceed the table; the excess must be stripped
+// from the smallest remainders so WCMPWeights still accepts the output.
+func TestQuantizeOverflowMassStripsExcess(t *testing.T) {
+	ps := trianglePS(t)
+	c := UniformConfig(ps)
+	pp := ps.PairPaths[0] // triangle pairs have 2 candidate paths
+	if len(pp) != 2 {
+		t.Fatalf("setup: pair 0 has %d paths", len(pp))
+	}
+	// 0.55 + 0.55 = 1.10: exact weights (11, 11) with tableSize 20 floor
+	// to 22 > 20; two slots must come back off the smaller remainders.
+	c.R[pp[0]], c.R[pp[1]] = 0.55, 0.55
+	q, err := QuantizeWCMP(c, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := WCMPWeights(q, 0, 20)
+	if err != nil {
+		t.Fatalf("WCMPWeights rejected overflow-quantized pair: %v", err)
+	}
+	sum := 0
+	for _, v := range w {
+		sum += v
+	}
+	if sum != 20 {
+		t.Fatalf("weights %v sum to %d, want 20", w, sum)
+	}
+}
+
+// TestQuantizeAlwaysSatisfiesWCMPWeights fuzzes quantization with ratio
+// vectors drifted off the simplex in both directions: every pair of the
+// output must be accepted by WCMPWeights.
+func TestQuantizeAlwaysSatisfiesWCMPWeights(t *testing.T) {
+	ps := trianglePS(t)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		c := UniformConfig(ps)
+		for pi, pp := range ps.PairPaths {
+			switch pi % 3 {
+			case 0: // zero mass
+				for _, p := range pp {
+					c.R[p] = 0
+				}
+			default: // random mass in [0.9, 1.1], unevenly split
+				mass := 0.9 + 0.2*rng.Float64()
+				var sum float64
+				raw := make([]float64, len(pp))
+				for i := range raw {
+					raw[i] = rng.Float64()
+					sum += raw[i]
+				}
+				for i, p := range pp {
+					c.R[p] = raw[i] / sum * mass
+				}
+			}
+		}
+		for _, table := range []int{1, 4, 16, 64} {
+			q, err := QuantizeWCMP(c, table)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pi := range ps.PairPaths {
+				if _, err := WCMPWeights(q, pi, table); err != nil {
+					t.Fatalf("trial %d table %d pair %d: %v", trial, table, pi, err)
+				}
+			}
+		}
+	}
+}
+
+// TestRerouteQuantizeRoundTrip is the failure-path integration check:
+// failing every link of a vertex disconnects its pairs; after Reroute and
+// QuantizeWCMP the failed paths must stay at exactly zero and every
+// surviving pair must still quantize to a full table.
+func TestRerouteQuantizeRoundTrip(t *testing.T) {
+	ps := trianglePS(t)
+	c := UniformConfig(ps)
+	// Fail links (0,1) and (1,2): vertex 1 is cut off entirely.
+	fs := NewFailureSet(ps.G, [][2]int{{0, 1}, {1, 2}})
+	r := Reroute(c, fs)
+	q, err := QuantizeWCMP(r, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi := range ps.PairPaths {
+		s, d := ps.Pairs.SD(pi)
+		w, err := WCMPWeights(q, pi, 8)
+		if err != nil {
+			t.Fatalf("pair (%d,%d): %v", s, d, err)
+		}
+		sum := 0
+		for _, v := range w {
+			sum += v
+		}
+		if s == 1 || d == 1 {
+			if sum != 0 {
+				t.Fatalf("disconnected pair (%d,%d) quantized to weights %v", s, d, w)
+			}
+			continue
+		}
+		if sum != 8 {
+			t.Fatalf("surviving pair (%d,%d) weights %v sum to %d, want 8", s, d, w, sum)
+		}
+	}
+	// No failed path anywhere may carry weight.
+	for p := range q.R {
+		if fs.PathDown(ps, p) && q.R[p] != 0 {
+			t.Fatalf("failed path %d carries quantized ratio %v", p, q.R[p])
+		}
+	}
+}

@@ -26,22 +26,25 @@ func WorstCasePerturb(t *Trace, refStats *Trace, alpha float64, seed int64) *Tra
 }
 
 // reverseRankMap returns a vector where the pair holding rank i of xs
-// (ascending) is assigned the value at rank n-1-i: the largest value goes to
-// the historically smallest pair, and so on.
+// (ascending) is assigned the value at rank n-1-i: the largest value goes
+// to the historically smallest pair, and so on. Equal values (duplicated σ
+// across pairs) are ranked by ascending pair index, making the comparator a
+// total order — the ranking, and therefore WorstCasePerturb's noise
+// assignment, is fully determined by xs rather than by sort internals.
 func reverseRankMap(xs []float64) []float64 {
 	idx := make([]int, len(xs))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
-	sorted := make([]float64, len(xs))
-	for rank, i := range idx {
-		_ = i
-		sorted[rank] = xs[idx[rank]]
-	}
+	sort.Slice(idx, func(a, b int) bool {
+		if xs[idx[a]] != xs[idx[b]] {
+			return xs[idx[a]] < xs[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
 	out := make([]float64, len(xs))
 	for rank, i := range idx {
-		out[i] = sorted[len(sorted)-1-rank]
+		out[i] = xs[idx[len(idx)-1-rank]]
 	}
 	return out
 }

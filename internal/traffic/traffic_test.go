@@ -483,3 +483,61 @@ func TestScaleAndMaxDemand(t *testing.T) {
 		t.Errorf("MaxDemand = %v", tr.MaxDemand())
 	}
 }
+
+// TestReverseRankMapTies pins tie handling: equal values rank by ascending
+// pair index, so the reversed assignment is a pure function of the input.
+func TestReverseRankMapTies(t *testing.T) {
+	xs := []float64{2, 1, 1, 3}
+	// Ascending ranks with index tie-break: 1(idx1), 1(idx2), 2(idx0),
+	// 3(idx3); reversing hands idx1 the value at rank 3, idx2 rank 2, etc.
+	want := []float64{1, 3, 2, 1}
+	for trial := 0; trial < 10; trial++ {
+		got := reverseRankMap(xs)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: reverseRankMap(%v) = %v, want %v", trial, xs, got, want)
+			}
+		}
+	}
+}
+
+// TestWorstCasePerturbDeterministicWithTies is the regression test for the
+// duplicated-stddev case: two pairs with identical histories (equal sigma)
+// must not make WorstCasePerturb's output depend on sort internals.
+func TestWorstCasePerturbDeterministicWithTies(t *testing.T) {
+	tr := NewTrace(3)
+	for i := 0; i < 120; i++ {
+		v := 1.0
+		if i%2 == 0 {
+			v = 7
+		}
+		// Pairs 0 and 1 are bitwise identical histories (tied sigma);
+		// pair 2 is constant.
+		tr.Append([]float64{v, v, 3})
+	}
+	sig := tr.Stddevs()
+	if sig[0] != sig[1] {
+		t.Fatalf("setup: sigmas %v should tie", sig)
+	}
+	want := WorstCasePerturb(tr, tr, 0.5, 11)
+	for trial := 0; trial < 5; trial++ {
+		got := WorstCasePerturb(tr, tr, 0.5, 11)
+		for s := range want.Snapshots {
+			for i := range want.Snapshots[s] {
+				if got.Snapshots[s][i] != want.Snapshots[s][i] {
+					t.Fatalf("trial %d: snapshot %d pair %d differs: %v vs %v",
+						trial, s, i, got.Snapshots[s][i], want.Snapshots[s][i])
+				}
+			}
+		}
+	}
+	// The constant pair receives the tied maximum; the tied pairs split
+	// the remaining {sigma, 0} deterministically by index.
+	rev := reverseRankMap(sig)
+	if rev[2] != sig[0] {
+		t.Errorf("stable pair should receive the tied maximum: rev=%v sig=%v", rev, sig)
+	}
+	if rev[0] != sig[0] || rev[1] != 0 {
+		t.Errorf("tied pairs should split {sigma, 0} by index: rev=%v sig=%v", rev, sig)
+	}
+}
