@@ -1,0 +1,174 @@
+// Command benchjson converts a `go test -json -bench` event stream
+// (stdin) into a compact machine-readable benchmark report (stdout), so
+// CI can record the performance trajectory per commit as an artifact
+// instead of burying ns/op in build logs.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem -json ./... | benchjson > BENCH_scenarios.json
+//
+// The report is a JSON array sorted by (package, name):
+//
+//	[{"name":"BenchmarkTrainStep/batch=32","package":"figret",
+//	  "procs":8,"iterations":100,"nsPerOp":12345.6,
+//	  "bytesPerOp":128,"allocsPerOp":3}, ...]
+//
+// Benchmarks that report neither B/op nor allocs/op (no -benchmem) omit
+// those fields. benchjson exits non-zero when the stream contains a
+// failing test action or no benchmark results at all — an empty report
+// would otherwise read as "no regressions".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of test2json's event schema benchjson needs.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	// Name is the benchmark name including sub-benchmark path, without
+	// the -procs suffix.
+	Name string `json:"name"`
+	// Package is the Go import path the benchmark ran in.
+	Package string `json:"package"`
+	// Procs is GOMAXPROCS during the run (the -N name suffix; 1 when the
+	// name carries none).
+	Procs int `json:"procs"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"nsPerOp"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem.
+	BytesPerOp  *int64 `json:"bytesPerOp,omitempty"`
+	AllocsPerOp *int64 `json:"allocsPerOp,omitempty"`
+}
+
+// benchLine matches a benchmark result line as emitted by the testing
+// package, e.g.
+//
+//	BenchmarkTrainStep/batch=32-8   100   12345.6 ns/op   128 B/op   3 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark[^\s]*?)(?:-(\d+))?\s+(\d+)\s+([0-9.e+]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parseLine extracts a Result from one output line, or nil.
+func parseLine(pkg, line string) *Result {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return nil
+	}
+	procs := 1
+	if m[2] != "" {
+		procs, _ = strconv.Atoi(m[2])
+	}
+	iters, err := strconv.ParseInt(m[3], 10, 64)
+	if err != nil {
+		return nil
+	}
+	ns, err := strconv.ParseFloat(m[4], 64)
+	if err != nil {
+		return nil
+	}
+	r := &Result{Name: m[1], Package: pkg, Procs: procs, Iterations: iters, NsPerOp: ns}
+	if m[5] != "" {
+		v, _ := strconv.ParseInt(m[5], 10, 64)
+		r.BytesPerOp = &v
+	}
+	if m[6] != "" {
+		v, _ := strconv.ParseInt(m[6], 10, 64)
+		r.AllocsPerOp = &v
+	}
+	return r
+}
+
+// parse consumes a test2json stream and returns the benchmark results
+// plus whether any test/benchmark failed. test2json splits output on
+// writes, not lines — the testing package emits a result as
+// "BenchmarkX \t" followed by "   100\t  12.3 ns/op\n" in separate
+// events — so output is reassembled into complete lines per package
+// before matching.
+func parse(in io.Reader) (results []*Result, failed bool, err error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	partial := map[string]string{} // package -> unterminated output tail
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Tolerate interleaved non-JSON noise (e.g. a stray print from
+			// a TestMain) rather than losing the whole report.
+			continue
+		}
+		switch ev.Action {
+		case "fail":
+			failed = true
+		case "output":
+			buf := partial[ev.Package] + ev.Output
+			for {
+				nl := strings.IndexByte(buf, '\n')
+				if nl < 0 {
+					break
+				}
+				if r := parseLine(ev.Package, buf[:nl]); r != nil {
+					results = append(results, r)
+				}
+				buf = buf[nl+1:]
+			}
+			partial[ev.Package] = buf
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, failed, err
+	}
+	for pkg, tail := range partial {
+		if r := parseLine(pkg, tail); r != nil {
+			results = append(results, r)
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Package != results[j].Package {
+			return results[i].Package < results[j].Package
+		}
+		return results[i].Name < results[j].Name
+	})
+	return results, failed, nil
+}
+
+func main() {
+	results, failed, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: stream contains failing tests")
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results in stream")
+		os.Exit(1)
+	}
+}

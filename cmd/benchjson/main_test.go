@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r := parseLine("figret", "BenchmarkTrainStep/batch=32-8 \t 100\t  12345.6 ns/op\t     128 B/op\t       3 allocs/op")
+	if r == nil {
+		t.Fatal("full line not parsed")
+	}
+	if r.Name != "BenchmarkTrainStep/batch=32" || r.Procs != 8 || r.Iterations != 100 ||
+		r.NsPerOp != 12345.6 || *r.BytesPerOp != 128 || *r.AllocsPerOp != 3 {
+		t.Fatalf("parsed %+v", r)
+	}
+
+	r = parseLine("p", "BenchmarkSolve 	 7	 2.5e+08 ns/op")
+	if r == nil || r.Procs != 1 || r.NsPerOp != 2.5e8 || r.BytesPerOp != nil || r.AllocsPerOp != nil {
+		t.Fatalf("no-benchmem line parsed as %+v", r)
+	}
+
+	for _, not := range []string{
+		"goos: linux",
+		"BenchmarkFoo", // name alone (the pre-result echo line)
+		"PASS",
+		"ok  	figret	1.2s",
+	} {
+		if r := parseLine("p", not); r != nil {
+			t.Errorf("non-result line %q parsed as %+v", not, r)
+		}
+	}
+}
+
+func TestParseStream(t *testing.T) {
+	stream := `
+{"Action":"start","Package":"figret"}
+{"Action":"output","Package":"figret","Output":"goos: linux\n"}
+{"Action":"output","Package":"figret","Output":"BenchmarkB-4   200   50.5 ns/op   16 B/op   1 allocs/op\n"}
+{"Action":"output","Package":"alpha","Output":"BenchmarkA-4   100   10.0 ns/op\n"}
+not even json
+{"Action":"pass","Package":"figret"}
+`
+	results, failed, err := parse(strings.NewReader(stream))
+	if err != nil || failed {
+		t.Fatalf("parse: failed=%v err=%v", failed, err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	// Sorted by (package, name): alpha before figret.
+	if results[0].Package != "alpha" || results[1].Name != "BenchmarkB" {
+		t.Fatalf("sort order: %+v", results)
+	}
+
+	_, failed, err = parse(strings.NewReader(`{"Action":"fail","Package":"p"}`))
+	if err != nil || !failed {
+		t.Fatalf("fail action not surfaced: failed=%v err=%v", failed, err)
+	}
+}
+
+// TestParseSplitEvents reproduces test2json's real framing: one result
+// line split across two output events (name+tab, then the numbers), as
+// `go test -json -bench` emits it.
+func TestParseSplitEvents(t *testing.T) {
+	stream := `
+{"Action":"output","Package":"p","Output":"BenchmarkSplit \t"}
+{"Action":"output","Package":"p","Output":"       1\t    236867 ns/op\t   38720 B/op\t     281 allocs/op\n"}
+`
+	results, _, err := parse(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results from split events", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkSplit" || r.Iterations != 1 || r.NsPerOp != 236867 ||
+		*r.BytesPerOp != 38720 || *r.AllocsPerOp != 281 {
+		t.Fatalf("parsed %+v", r)
+	}
+}

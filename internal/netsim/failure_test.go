@@ -1,0 +1,202 @@
+package netsim
+
+import (
+	"testing"
+
+	"figret/internal/te"
+	"figret/internal/traffic"
+)
+
+// failureSetup builds the substrate the mid-series failure tests share:
+// the PoD fabric, a calibrated trace and a failure set taking down one
+// link (both directions).
+func failureSetup(t *testing.T) (*te.PathSet, *traffic.Trace, *te.FailureSet) {
+	t.Helper()
+	ps, tr := loopSetup(t)
+	fs := te.NewFailureSet(ps.G, [][2]int{{0, 1}})
+	return ps, tr, fs
+}
+
+// TestSimulateSeriesMidFailure injects a failure halfway through a
+// series: configs before the cut are the clean uniform split, configs
+// from the cut on are the rerouted ones. Pre-cut results must be
+// bitwise identical to a failure-free series, and post-cut results must
+// match simulating the rerouted config directly — SimulateSeries has no
+// hidden cross-snapshot state.
+func TestSimulateSeriesMidFailure(t *testing.T) {
+	ps, tr, fs := failureSetup(t)
+	uni := te.UniformConfig(ps)
+	rerouted := te.Reroute(uni, fs)
+
+	const n, cut = 20, 10
+	cfgs := make([]*te.Config, n)
+	clean := make([]*te.Config, n)
+	demands := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		demands[i] = tr.At(i)
+		clean[i] = uni
+		if i < cut {
+			cfgs[i] = uni
+		} else {
+			cfgs[i] = rerouted
+		}
+	}
+
+	got, err := SimulateSeries(cfgs, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SimulateSeries(clean, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("got %d results, want %d", len(got), n)
+	}
+	for i := 0; i < cut; i++ {
+		if got[i].MLU != want[i].MLU || got[i].Delivered != want[i].Delivered {
+			t.Fatalf("pre-failure interval %d diverged from failure-free series", i)
+		}
+	}
+	for i := cut; i < n; i++ {
+		direct, err := Simulate(rerouted, demands[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].MLU != direct.MLU || got[i].Delivered != direct.Delivered || got[i].LossRate != direct.LossRate {
+			t.Fatalf("post-failure interval %d does not match direct simulation", i)
+		}
+		// The rerouted config concentrates the failed paths' mass on the
+		// survivors; every pair must still deliver (PoD stays connected
+		// under one link failure with k=3 candidate paths).
+		if got[i].Offered <= 0 {
+			t.Fatalf("post-failure interval %d offered nothing", i)
+		}
+	}
+
+	// Rerouted configs route strictly around the failed link: its two
+	// directed edges carry zero offered load, so the rerouted MLU must
+	// differ from the clean one whenever the failed link was the
+	// bottleneck or its traffic moved (sanity: the series actually
+	// changed at the cut).
+	changed := false
+	for i := cut; i < n; i++ {
+		if got[i].MLU != want[i].MLU {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("failure injection left the series untouched (reroute was a no-op?)")
+	}
+}
+
+func TestSimulateSeriesLengthMismatch(t *testing.T) {
+	ps, tr, _ := failureSetup(t)
+	uni := te.UniformConfig(ps)
+	if _, err := SimulateSeries([]*te.Config{uni}, [][]float64{tr.At(0), tr.At(1)}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// TestControlLoopMidSeriesFailure drives the control loop with an
+// advisor that learns of a failure at interval failAt: advice from then
+// on is rerouted. With installation delay d, the network must keep
+// forwarding with pre-failure configurations for exactly d intervals
+// after the cut — the staleness window the paper's §1 control loop
+// exposes — and every interval must equal the hand-computed fixed-point
+// simulation of whatever configuration is installed at that time.
+func TestControlLoopMidSeriesFailure(t *testing.T) {
+	ps, tr, fs := failureSetup(t)
+	uni := te.UniformConfig(ps)
+	rerouted := te.Reroute(uni, fs)
+	const from, to, failAt, delay = 5, 35, 20, 3
+
+	cl := &ControlLoop{
+		Advise: func(t int) (*te.Config, error) {
+			if t >= failAt {
+				return rerouted, nil
+			}
+			return uni, nil
+		},
+		Delay:   delay,
+		Initial: uni,
+	}
+	res, err := cl.Run(tr.At, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerInterval) != to-from {
+		t.Fatalf("intervals = %d, want %d", len(res.PerInterval), to-from)
+	}
+
+	// installedAt mirrors the loop's pipeline: advice computed at
+	// interval t takes effect at t+delay.
+	installedAt := func(t int) *te.Config {
+		if t-delay >= failAt {
+			return rerouted
+		}
+		return uni
+	}
+	for t_ := from; t_ < to; t_++ {
+		want, err := Simulate(installedAt(t_), tr.At(t_))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.PerInterval[t_-from]
+		if got.MLU != want.MLU || got.Delivered != want.Delivered || got.MeanDelay != want.MeanDelay {
+			t.Fatalf("interval %d: loop result diverges from installed-config simulation (MLU %v vs %v)",
+				t_, got.MLU, want.MLU)
+		}
+	}
+
+	// The staleness window [failAt, failAt+delay) must still run the
+	// pre-failure configuration — the rerouted one lands exactly at
+	// failAt+delay.
+	pre, err := Simulate(uni, tr.At(failAt+delay-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerInterval[failAt+delay-1-from].MLU != pre.MLU {
+		t.Fatal("stale window rerouted early")
+	}
+	post, err := Simulate(rerouted, tr.At(failAt+delay))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerInterval[failAt+delay-from].MLU != post.MLU {
+		t.Fatal("rerouted configuration did not land at failAt+delay")
+	}
+}
+
+// TestControlLoopZeroDelayFailure: with Delay 0 the rerouted advice
+// takes effect in the same interval the advisor learns of the failure —
+// no staleness window at all.
+func TestControlLoopZeroDelayFailure(t *testing.T) {
+	ps, tr, fs := failureSetup(t)
+	uni := te.UniformConfig(ps)
+	rerouted := te.Reroute(uni, fs)
+	const from, to, failAt = 5, 25, 12
+
+	cl := &ControlLoop{
+		Advise: func(t int) (*te.Config, error) {
+			if t >= failAt {
+				return rerouted, nil
+			}
+			return uni, nil
+		},
+		Delay:   0,
+		Initial: uni,
+	}
+	res, err := cl.Run(tr.At, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Simulate(rerouted, tr.At(failAt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerInterval[failAt-from].MLU != want.MLU {
+		t.Fatal("zero-delay loop did not install rerouted advice immediately")
+	}
+}

@@ -1,0 +1,22 @@
+package scenario
+
+import "testing"
+
+// BenchmarkScenarioOffline measures the steady-state cost of one offline
+// scenario cell once the substrate caches (path set, oracle, trained
+// model) are warm — the marginal price of adding a scenario to the
+// suite, recorded per commit by CI's benchmark artifact.
+func BenchmarkScenarioOffline(b *testing.B) {
+	r := NewRunner(Options{})
+	spec := podSpec("bench")
+	if _, err := r.RunOne(spec); err != nil { // warm the caches
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RunOne(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DefaultTolerance is the relative degradation a golden diff tolerates
+// before failing: metrics are deterministic, so the slack exists only to
+// absorb intentional small-impact changes — a 5% MLU regression is well
+// past it.
+const DefaultTolerance = 0.02
+
+// SchemeMetrics is one scheme's golden-gated summary within a scenario.
+// All metrics are lower-is-better. In offline mode the MLU fields
+// describe oracle-normalized MLU; in fluid and closed-loop modes they
+// describe raw offered-load MLU, and the loss and delay fields are
+// populated from the fluid simulation.
+type SchemeMetrics struct {
+	Scheme string `json:"scheme"`
+	// AvgMLU, P50MLU, P95MLU, MaxMLU summarize the per-snapshot MLU
+	// series.
+	AvgMLU float64 `json:"avgMLU"`
+	P50MLU float64 `json:"p50MLU"`
+	P95MLU float64 `json:"p95MLU"`
+	MaxMLU float64 `json:"maxMLU"`
+	// SevereCongestion is the fraction of snapshots with normalized MLU
+	// above 2 (offline mode only).
+	SevereCongestion float64 `json:"severeCongestion"`
+	// MeanLoss and MaxLoss summarize the fluid loss-rate series (fluid
+	// and closed-loop modes).
+	MeanLoss float64 `json:"meanLoss"`
+	MaxLoss  float64 `json:"maxLoss"`
+	// P50Delay and P95Delay are quantiles of the per-interval
+	// demand-weighted M/M/1 delay proxy (fluid and closed-loop modes).
+	P50Delay float64 `json:"p50Delay"`
+	P95Delay float64 `json:"p95Delay"`
+}
+
+// Metrics is one scenario's full golden record.
+type Metrics struct {
+	Scenario string `json:"scenario"`
+	Mode     string `json:"mode"`
+	// From, To is the absolute evaluated snapshot range of the trace.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Schemes holds one entry per evaluated scheme, in spec order.
+	Schemes []SchemeMetrics `json:"schemes"`
+	// Checksum is the IEEE CRC-32 of the canonical JSON encoding of this
+	// struct with Checksum zeroed — the same self-integrity scheme as
+	// te.PathStore, so a hand-edited or truncated golden reads as corrupt
+	// instead of silently shifting the gate.
+	Checksum uint32 `json:"checksum"`
+}
+
+// payload is m's canonical checksummed encoding (Checksum zeroed).
+func (m *Metrics) payload() []byte {
+	c := *m
+	c.Checksum = 0
+	data, err := json.Marshal(&c)
+	if err != nil {
+		// Metrics marshaling cannot fail: fixed struct of floats/strings.
+		panic(err)
+	}
+	return data
+}
+
+// Seal computes and stores the checksum.
+func (m *Metrics) Seal() { m.Checksum = crc32.ChecksumIEEE(m.payload()) }
+
+// Verify reports whether the stored checksum matches the content.
+func (m *Metrics) Verify() bool { return m.Checksum == crc32.ChecksumIEEE(m.payload()) }
+
+// Scheme returns the named scheme's metrics, or nil.
+func (m *Metrics) Scheme(name string) *SchemeMetrics {
+	for i := range m.Schemes {
+		if m.Schemes[i].Scheme == name {
+			return &m.Schemes[i]
+		}
+	}
+	return nil
+}
+
+// Store is a directory of golden files, one "<scenario>.json" per
+// scenario.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a golden directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("scenario: empty golden dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) path(name string) string {
+	return filepath.Join(st.dir, name+".json")
+}
+
+// Save seals and writes one golden atomically (write-temp + rename), so
+// an interrupted bless never leaves a torn file behind.
+func (st *Store) Save(m *Metrics) error {
+	m.Seal()
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(st.dir, "."+m.Scenario+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), st.path(m.Scenario))
+}
+
+// Load reads and integrity-checks one golden. A missing file is
+// reported as os.ErrNotExist (callers distinguish "never blessed" from
+// "corrupt").
+func (st *Store) Load(name string) (*Metrics, error) {
+	data, err := os.ReadFile(st.path(name))
+	if err != nil {
+		return nil, err
+	}
+	var m Metrics
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("scenario: golden %s: %w", name, err)
+	}
+	if m.Scenario != name {
+		return nil, fmt.Errorf("scenario: golden %s names scenario %q", name, m.Scenario)
+	}
+	if !m.Verify() {
+		return nil, fmt.Errorf("scenario: golden %s failed its checksum (hand-edited or truncated; re-bless it)", name)
+	}
+	return &m, nil
+}
+
+// List returns the blessed scenario names, sorted.
+func (st *Store) List() ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(st.dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(paths))
+	for _, p := range paths {
+		names = append(names, strings.TrimSuffix(filepath.Base(p), ".json"))
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Diff is the outcome of comparing fresh metrics against a golden.
+type Diff struct {
+	Scenario string
+	// Regressions are tolerance-exceeding degradations (or structural
+	// mismatches); any entry fails the gate.
+	Regressions []string
+	// Improvements are tolerance-exceeding gains — informational, blessed
+	// away when intentional.
+	Improvements []string
+}
+
+// OK reports whether the diff passes the gate.
+func (d *Diff) OK() bool { return len(d.Regressions) == 0 }
+
+// String renders the diff for terminal output.
+func (d *Diff) String() string {
+	var b strings.Builder
+	for _, r := range d.Regressions {
+		fmt.Fprintf(&b, "REGRESSION %s: %s\n", d.Scenario, r)
+	}
+	for _, im := range d.Improvements {
+		fmt.Fprintf(&b, "improved   %s: %s\n", d.Scenario, im)
+	}
+	return b.String()
+}
+
+// Compare gates fresh metrics against a golden with relative tolerance
+// tol (0 selects DefaultTolerance). Every metric is lower-is-better: a
+// fresh value above golden·(1+tol) (plus a small absolute epsilon for
+// near-zero metrics like loss rates) is a regression; a fresh value
+// below golden·(1−tol) is an improvement note. Mode or window changes
+// and missing/extra schemes are regressions — they mean the scenario no
+// longer measures what was blessed.
+func Compare(golden, fresh *Metrics, tol float64) *Diff {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	d := &Diff{Scenario: golden.Scenario}
+	if golden.Scenario != fresh.Scenario {
+		d.Regressions = append(d.Regressions, fmt.Sprintf("scenario name changed: %q vs %q", golden.Scenario, fresh.Scenario))
+		return d
+	}
+	if golden.Mode != fresh.Mode {
+		d.Regressions = append(d.Regressions, fmt.Sprintf("mode changed: %s vs %s", golden.Mode, fresh.Mode))
+	}
+	if golden.From != fresh.From || golden.To != fresh.To {
+		d.Regressions = append(d.Regressions,
+			fmt.Sprintf("evaluated window changed: [%d,%d) vs [%d,%d)", golden.From, golden.To, fresh.From, fresh.To))
+	}
+	for i := range golden.Schemes {
+		g := &golden.Schemes[i]
+		f := fresh.Scheme(g.Scheme)
+		if f == nil {
+			d.Regressions = append(d.Regressions, fmt.Sprintf("scheme %s disappeared", g.Scheme))
+			continue
+		}
+		compareScheme(d, g, f, tol)
+	}
+	for i := range fresh.Schemes {
+		if golden.Scheme(fresh.Schemes[i].Scheme) == nil {
+			d.Regressions = append(d.Regressions,
+				fmt.Sprintf("scheme %s is new (re-bless to accept)", fresh.Schemes[i].Scheme))
+		}
+	}
+	return d
+}
+
+// lossEps absorbs relative comparison of near-zero rates: a loss rate
+// moving 0 → 1e-9 is numeric noise, not a regression.
+const lossEps = 1e-6
+
+func compareScheme(d *Diff, g, f *SchemeMetrics, tol float64) {
+	check := func(metric string, gv, fv float64) {
+		hi := gv*(1+tol) + lossEps
+		lo := gv * (1 - tol)
+		switch {
+		case fv > hi:
+			d.Regressions = append(d.Regressions,
+				fmt.Sprintf("%s %s %.6g -> %.6g (+%.1f%%, tolerance %.1f%%)",
+					g.Scheme, metric, gv, fv, 100*(fv-gv)/nonzero(gv), 100*tol))
+		case fv < lo-lossEps:
+			d.Improvements = append(d.Improvements,
+				fmt.Sprintf("%s %s %.6g -> %.6g (−%.1f%%)", g.Scheme, metric, gv, fv, 100*(gv-fv)/nonzero(gv)))
+		}
+	}
+	check("avgMLU", g.AvgMLU, f.AvgMLU)
+	check("p50MLU", g.P50MLU, f.P50MLU)
+	check("p95MLU", g.P95MLU, f.P95MLU)
+	check("maxMLU", g.MaxMLU, f.MaxMLU)
+	check("severeCongestion", g.SevereCongestion, f.SevereCongestion)
+	check("meanLoss", g.MeanLoss, f.MeanLoss)
+	check("maxLoss", g.MaxLoss, f.MaxLoss)
+	check("p50Delay", g.P50Delay, f.P50Delay)
+	check("p95Delay", g.P95Delay, f.P95Delay)
+}
+
+func nonzero(v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleMetrics() *Metrics {
+	m := &Metrics{
+		Scenario: "sample",
+		Mode:     ModeOffline,
+		From:     48, To: 64,
+		Schemes: []SchemeMetrics{
+			{Scheme: "figret", AvgMLU: 1.20, P50MLU: 1.18, P95MLU: 1.40, MaxMLU: 1.55, SevereCongestion: 0.0},
+			{Scheme: "deste", AvgMLU: 1.30, P50MLU: 1.29, P95MLU: 1.45, MaxMLU: 1.60, MeanLoss: 0.01, P95Delay: 12},
+		},
+	}
+	m.Seal()
+	return m
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sampleMetrics()
+	if err := st.Save(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load("sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Checksum != m.Checksum || len(got.Schemes) != 2 || got.Schemes[1] != m.Schemes[1] {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, m)
+	}
+	names, err := st.List()
+	if err != nil || len(names) != 1 || names[0] != "sample" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	if _, err := st.Load("absent"); !os.IsNotExist(err) {
+		t.Fatalf("missing golden: want os.ErrNotExist, got %v", err)
+	}
+}
+
+// TestGoldenTamperDetected: a hand-edited golden (metric nudged without
+// resealing) must read as corrupt — the gate cannot be weakened by
+// editing numbers in place.
+func TestGoldenTamperDetected(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := NewStore(dir)
+	if err := st.Save(sampleMetrics()); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "sample.json")
+	data, _ := os.ReadFile(p)
+	tampered := strings.Replace(string(data), "1.2", "1.1", 1)
+	if tampered == string(data) {
+		t.Fatal("tamper substitution found nothing to replace")
+	}
+	if err := os.WriteFile(p, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load("sample"); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("tampered golden not rejected: %v", err)
+	}
+}
+
+// TestCompareRegressionGate is the acceptance check of the gate: an
+// injected 5% MLU regression in any scheme fails Compare at the default
+// tolerance, identical metrics pass, and improvements are notes rather
+// than failures.
+func TestCompareRegressionGate(t *testing.T) {
+	golden := sampleMetrics()
+
+	clean := Compare(golden, sampleMetrics(), 0)
+	if !clean.OK() || len(clean.Improvements) != 0 {
+		t.Fatalf("identical metrics did not pass clean: %v", clean)
+	}
+
+	// 5% worse MLU on one scheme -> regression.
+	worse := sampleMetrics()
+	worse.Schemes[1].AvgMLU *= 1.05
+	worse.Seal()
+	d := Compare(golden, worse, 0)
+	if d.OK() {
+		t.Fatal("5% avgMLU regression passed the gate")
+	}
+	if !strings.Contains(strings.Join(d.Regressions, "\n"), "deste avgMLU") {
+		t.Fatalf("regression not attributed: %v", d.Regressions)
+	}
+
+	// 5% better -> improvement note, no failure.
+	better := sampleMetrics()
+	better.Schemes[0].P95MLU /= 1.05
+	better.Seal()
+	d = Compare(golden, better, 0)
+	if !d.OK() || len(d.Improvements) == 0 {
+		t.Fatalf("improvement misclassified: %v", d)
+	}
+
+	// Within tolerance -> clean.
+	slight := sampleMetrics()
+	slight.Schemes[0].AvgMLU *= 1.01
+	slight.Seal()
+	if d := Compare(golden, slight, 0); !d.OK() {
+		t.Fatalf("1%% drift failed the 2%% gate: %v", d.Regressions)
+	}
+	// ...but a tight per-scenario tolerance catches it.
+	if d := Compare(golden, slight, 0.005); d.OK() {
+		t.Fatal("0.5% tolerance did not catch 1% drift")
+	}
+}
+
+func TestCompareStructuralMismatches(t *testing.T) {
+	golden := sampleMetrics()
+
+	missing := sampleMetrics()
+	missing.Schemes = missing.Schemes[:1]
+	missing.Seal()
+	if d := Compare(golden, missing, 0); d.OK() {
+		t.Fatal("disappeared scheme passed the gate")
+	}
+
+	extra := sampleMetrics()
+	extra.Schemes = append(extra.Schemes, SchemeMetrics{Scheme: "new"})
+	extra.Seal()
+	if d := Compare(golden, extra, 0); d.OK() {
+		t.Fatal("new scheme passed the gate without a re-bless")
+	}
+
+	window := sampleMetrics()
+	window.To++
+	window.Seal()
+	if d := Compare(golden, window, 0); d.OK() {
+		t.Fatal("changed window passed the gate")
+	}
+
+	mode := sampleMetrics()
+	mode.Mode = ModeFluid
+	mode.Seal()
+	if d := Compare(golden, mode, 0); d.OK() {
+		t.Fatal("changed mode passed the gate")
+	}
+}
+
+// TestNearZeroLossNoise: a loss rate moving 0 -> 1e-9 is numeric noise,
+// not a regression (the absolute epsilon term).
+func TestNearZeroLossNoise(t *testing.T) {
+	golden := sampleMetrics()
+	fresh := sampleMetrics()
+	fresh.Schemes[0].MeanLoss = 1e-9
+	fresh.Seal()
+	if d := Compare(golden, fresh, 0); !d.OK() {
+		t.Fatalf("1e-9 loss flagged as regression: %v", d.Regressions)
+	}
+}
