@@ -437,17 +437,23 @@ func BenchmarkFig20_DOTEFailureCase(b *testing.B) {
 
 // BenchmarkTrainStep measures a five-epoch training run on the ScaleFast
 // PoD env: the sequential per-sample reference path ("seq") against the
-// batched minibatch engine at batch sizes 1, 8 and 32. Run with -benchmem:
-// the batched engine must show the allocation elimination (scratch reuse
-// makes the steady-state epochs allocation-free, leaving only one-time
-// optimizer/scratch setup) and the blocked-GEMM wall-clock win, while
-// producing bitwise-identical loss trajectories to "seq" at every batch
-// size (TestBatchedMatchesSequentialTrajectory).
+// batched minibatch engine at batch sizes 1, 8 and 32, and the
+// data-parallel engine at batch 64 (4 gradient shards) with worker pools
+// of 1, 2 and all CPUs plus a gradient-accumulation macro-batch variant.
+// Run with -benchmem: the batched engine must show the allocation
+// elimination (scratch reuse makes the steady-state epochs
+// allocation-free, leaving only one-time optimizer/scratch setup) and the
+// blocked-GEMM wall-clock win, while producing bitwise-identical loss
+// trajectories to "seq" at every batch size
+// (TestBatchedMatchesSequentialTrajectory); the worker variants must
+// produce bitwise-identical trajectories to workers=1 at every pool size
+// (TestTrainWorkerCountInvariance), with the multi-worker win scaling in
+// GOMAXPROCS.
 func BenchmarkTrainStep(b *testing.B) {
-	run := func(batch int, seq bool) func(b *testing.B) {
+	run := func(cfg figret.Config, seq bool) func(b *testing.B) {
+		cfg.H, cfg.Gamma, cfg.Epochs, cfg.Seed = 6, 1, 5, 1
 		return func(b *testing.B) {
 			setup(b)
-			cfg := figret.Config{H: 6, Gamma: 1, Epochs: 5, Seed: 1, BatchSize: batch}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -466,10 +472,14 @@ func BenchmarkTrainStep(b *testing.B) {
 			}
 		}
 	}
-	b.Run("seq", run(1, true))
-	b.Run("batch=1", run(1, false))
-	b.Run("batch=8", run(8, false))
-	b.Run("batch=32", run(32, false))
+	b.Run("seq", run(figret.Config{BatchSize: 1}, true))
+	b.Run("batch=1", run(figret.Config{BatchSize: 1}, false))
+	b.Run("batch=8", run(figret.Config{BatchSize: 8}, false))
+	b.Run("batch=32", run(figret.Config{BatchSize: 32}, false))
+	b.Run("batch=64-workers=1", run(figret.Config{BatchSize: 64, TrainWorkers: 1}, false))
+	b.Run("batch=64-workers=2", run(figret.Config{BatchSize: 64, TrainWorkers: 2}, false))
+	b.Run("batch=64-workers=max", run(figret.Config{BatchSize: 64}, false))
+	b.Run("batch=32-macro=2-workers=max", run(figret.Config{BatchSize: 32, MacroBatch: 2}, false))
 }
 
 // evalBenchSchemes builds the scheme set for the evaluation-engine

@@ -18,6 +18,13 @@
 //
 //	figret train -topo cogentco -scale full -pathcache ~/.cache/figret-paths -out model.json
 //	figret eval  -topo cogentco -scale full -pathcache ~/.cache/figret-paths -model model.json
+//
+// Training itself is data-parallel: -trainworkers sizes the worker pool
+// (0 = all CPUs) with a bitwise worker-count-independent loss trajectory,
+// and -macrobatch accumulates that many micro-batches of -batch samples
+// per optimizer step (gradient accumulation):
+//
+//	figret train -topo pod-db -batch 32 -trainworkers 4 -macrobatch 2 -out model.json
 package main
 
 import (
@@ -56,6 +63,9 @@ func main() {
 
 		pathCache   = fs.String("pathcache", "", "directory of the on-disk candidate-path cache (shared across figret/experiments/served runs; empty = recompute every run)")
 		pathWorkers = fs.Int("pathworkers", 0, "candidate-path precomputation worker pool size (0 = all CPUs); the path set is bitwise identical for any value")
+
+		trainWorkers = fs.Int("trainworkers", 0, "training worker pool size (0 = all CPUs); the loss trajectory and trained weights are bitwise identical for any value")
+		macroBatch   = fs.Int("macrobatch", 1, "micro-batches accumulated per optimizer step (gradient accumulation; effective batch = batch*macrobatch)")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -65,6 +75,7 @@ func main() {
 		sc = experiments.ScaleFull
 	}
 	paths := pathOptions{cache: *pathCache, workers: *pathWorkers}
+	train := trainOptions{workers: *trainWorkers, macro: *macroBatch}
 
 	var err error
 	switch cmd {
@@ -73,11 +84,11 @@ func main() {
 	case "gen":
 		err = runGen(*topo, sc, *T, *seed, *out, paths)
 	case "train":
-		err = runTrain(*topo, sc, *T, *H, *gamma, *epochs, *batch, *seed, *out, paths)
+		err = runTrain(*topo, sc, *T, *H, *gamma, *epochs, *batch, *seed, *out, paths, train)
 	case "eval":
 		err = runEval(*topo, sc, *T, *H, *seed, *model, paths)
 	case "simulate":
-		err = runSimulate(*topo, sc, *T, *H, *gamma, *epochs, *batch, *seed, *delay, paths)
+		err = runSimulate(*topo, sc, *T, *H, *gamma, *epochs, *batch, *seed, *delay, paths, train)
 	default:
 		usage()
 		os.Exit(2)
@@ -92,6 +103,14 @@ func main() {
 type pathOptions struct {
 	cache   string
 	workers int
+}
+
+// trainOptions carries the data-parallel training flags. Both knobs are
+// perf/memory trades only: every value yields bitwise the same model
+// (macro-batches change the optimizer schedule, but deterministically).
+type trainOptions struct {
+	workers int
+	macro   int
 }
 
 func usage() {
@@ -158,7 +177,7 @@ func runGen(topo string, sc experiments.Scale, T int, seed int64, out string, pa
 	return nil
 }
 
-func runTrain(topo string, sc experiments.Scale, T, H int, gamma float64, epochs, batch int, seed int64, out string, paths pathOptions) error {
+func runTrain(topo string, sc experiments.Scale, T, H int, gamma float64, epochs, batch int, seed int64, out string, paths pathOptions, train trainOptions) error {
 	if out == "" {
 		return fmt.Errorf("train requires -out")
 	}
@@ -166,7 +185,10 @@ func runTrain(topo string, sc experiments.Scale, T, H int, gamma float64, epochs
 	if err != nil {
 		return err
 	}
-	m := figret.New(env.PS, figret.Config{H: H, Gamma: gamma, Epochs: epochs, Seed: seed, BatchSize: batch})
+	m := figret.New(env.PS, figret.Config{
+		H: H, Gamma: gamma, Epochs: epochs, Seed: seed, BatchSize: batch,
+		TrainWorkers: train.workers, MacroBatch: train.macro,
+	})
 	stats, err := m.Train(env.Train)
 	if err != nil {
 		return err
@@ -219,7 +241,7 @@ func runEval(topo string, sc experiments.Scale, T, H int, seed int64, modelPath 
 	return nil
 }
 
-func runSimulate(topo string, sc experiments.Scale, T, H int, gamma float64, epochs, batch int, seed int64, delay int, paths pathOptions) error {
+func runSimulate(topo string, sc experiments.Scale, T, H int, gamma float64, epochs, batch int, seed int64, delay int, paths pathOptions, train trainOptions) error {
 	env, err := buildEnv(topo, sc, T, seed, paths)
 	if err != nil {
 		return err
@@ -227,7 +249,10 @@ func runSimulate(topo string, sc experiments.Scale, T, H int, gamma float64, epo
 	// Stress the network so losses are visible: scale the trace to push the
 	// mean uniform-config MLU toward 1.
 	env.Trace.Scale(2)
-	m := figret.New(env.PS, figret.Config{H: H, Gamma: gamma, Epochs: epochs, Seed: seed, BatchSize: batch})
+	m := figret.New(env.PS, figret.Config{
+		H: H, Gamma: gamma, Epochs: epochs, Seed: seed, BatchSize: batch,
+		TrainWorkers: train.workers, MacroBatch: train.macro,
+	})
 	if _, err := m.Train(env.Train); err != nil {
 		return err
 	}

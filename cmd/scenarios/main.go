@@ -54,22 +54,23 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  scenarios run   [-suite dir] [-shard i/n] [-json] [-workers n] [-parallel n] [-pathcache dir]
-  scenarios bless [-suite dir] [-golden dir] [-shard i/n] [-workers n] [-parallel n] [-pathcache dir]
-  scenarios diff  [-suite dir] [-golden dir] [-shard i/n] [-json] [-workers n] [-parallel n] [-pathcache dir]`)
+  scenarios run   [-suite dir] [-shard i/n] [-json] [-workers n] [-parallel n] [-trainworkers n] [-pathcache dir]
+  scenarios bless [-suite dir] [-golden dir] [-shard i/n] [-workers n] [-parallel n] [-trainworkers n] [-pathcache dir]
+  scenarios diff  [-suite dir] [-golden dir] [-shard i/n] [-json] [-workers n] [-parallel n] [-trainworkers n] [-pathcache dir]`)
 }
 
 func execute(cmd string, args []string) error {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
-		suite     = fs.String("suite", "scenarios/suite", "directory of scenario spec *.json files")
-		golden    = fs.String("golden", "scenarios/golden", "directory of blessed golden metrics (bless/diff)")
-		shardStr  = fs.String("shard", "", "run slice i/n (1-based) of the name-sorted suite; empty = all")
-		jsonOut   = fs.Bool("json", false, "emit machine-readable JSON instead of text")
-		workers   = fs.Int("workers", runtime.NumCPU(), "per-scenario evaluation worker pool size; metrics are bitwise identical for any value")
-		parallel  = fs.Int("parallel", 1, "scenarios run concurrently; metrics are bitwise identical for any value")
-		pathCache = fs.String("pathcache", "", "directory of the on-disk candidate-path cache shared with figret/experiments/served (empty = recompute)")
-		quiet     = fs.Bool("q", false, "suppress per-scenario progress lines")
+		suite        = fs.String("suite", "scenarios/suite", "directory of scenario spec *.json files")
+		golden       = fs.String("golden", "scenarios/golden", "directory of blessed golden metrics (bless/diff)")
+		shardStr     = fs.String("shard", "", "run slice i/n (1-based) of the name-sorted suite; empty = all")
+		jsonOut      = fs.Bool("json", false, "emit machine-readable JSON instead of text")
+		workers      = fs.Int("workers", runtime.NumCPU(), "per-scenario evaluation worker pool size; metrics are bitwise identical for any value")
+		parallel     = fs.Int("parallel", 1, "scenarios run concurrently; metrics are bitwise identical for any value")
+		pathCache    = fs.String("pathcache", "", "directory of the on-disk candidate-path cache shared with figret/experiments/served (empty = recompute)")
+		trainWorkers = fs.Int("trainworkers", 0, "substrate-model training worker pool size (0 = all CPUs); metrics are bitwise identical for any value")
+		quiet        = fs.Bool("q", false, "suppress per-scenario progress lines")
 	)
 	fs.Parse(args)
 	if fs.NArg() != 0 {
@@ -89,7 +90,7 @@ func execute(cmd string, args []string) error {
 		return fmt.Errorf("shard %s selected no scenarios of %s", *shardStr, *suite)
 	}
 
-	opt := scenario.Options{Workers: *workers, ScenarioWorkers: *parallel, PathCache: *pathCache}
+	opt := scenario.Options{Workers: *workers, ScenarioWorkers: *parallel, PathCache: *pathCache, TrainWorkers: *trainWorkers}
 	if !*quiet && !*jsonOut {
 		opt.Log = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
 	}

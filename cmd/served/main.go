@@ -61,6 +61,8 @@ func main() {
 
 		pathCache   = flag.String("pathcache", "", "directory of the on-disk candidate-path cache; a warm cache brings multi-topology daemons up in seconds instead of re-running Yen per process")
 		pathWorkers = flag.Int("pathworkers", 0, "candidate-path precomputation worker pool size (0 = all CPUs); the path set is bitwise identical for any value")
+
+		trainWorkers = flag.Int("trainworkers", 0, "worker pool size for bootstrap and drift retraining (0 = all CPUs); trained weights are bitwise identical for any value")
 	)
 	flag.Parse()
 
@@ -76,7 +78,7 @@ func main() {
 		if topo == "" {
 			continue
 		}
-		if err := addTopology(srv, reg, topo, sc, *bootstrap, *T, *H, *gamma, *epochs, *batch, *seed, *history, *churn, *drift, *pathCache, *pathWorkers); err != nil {
+		if err := addTopology(srv, reg, topo, sc, *bootstrap, *T, *H, *gamma, *epochs, *batch, *seed, *history, *churn, *drift, *pathCache, *pathWorkers, *trainWorkers); err != nil {
 			log.Fatalf("served: %s: %v", topo, err)
 		}
 	}
@@ -89,7 +91,7 @@ func main() {
 
 func addTopology(srv *serve.Server, reg *serve.Registry, topo string, sc experiments.Scale,
 	bootstrap bool, T, H int, gamma float64, epochs, batch int, seed int64,
-	history int, churn float64, drift bool, pathCache string, pathWorkers int) error {
+	history int, churn float64, drift bool, pathCache string, pathWorkers, trainWorkers int) error {
 	env, err := experiments.NewEnv(topo, sc, experiments.EnvOptions{
 		T: T, Seed: seed, PathCache: pathCache, PathWorkers: pathWorkers,
 	})
@@ -104,7 +106,10 @@ func addTopology(srv *serve.Server, reg *serve.Registry, topo string, sc experim
 		// Shadow evaluations normalize against the environment's memoized
 		// omniscient oracle; solves run in the background and are shared
 		// across retrains.
-		opt.Drift = &serve.DriftOptions{Oracle: eval.NewOracle(env.PS, baselines.AutoSolve(env.PS), nil)}
+		opt.Drift = &serve.DriftOptions{
+			Oracle:       eval.NewOracle(env.PS, baselines.AutoSolve(env.PS), nil),
+			TrainWorkers: trainWorkers,
+		}
 	}
 	if _, err := srv.Add(topo, opt); err != nil {
 		return err
@@ -113,7 +118,10 @@ func addTopology(srv *serve.Server, reg *serve.Registry, topo string, sc experim
 		log.Printf("served: %s ready (no checkpoint; uniform fallback until upload)", topo)
 		return nil
 	}
-	m := figret.New(env.PS, figret.Config{H: H, Gamma: gamma, Epochs: epochs, Seed: seed, BatchSize: batch})
+	m := figret.New(env.PS, figret.Config{
+		H: H, Gamma: gamma, Epochs: epochs, Seed: seed, BatchSize: batch,
+		TrainWorkers: trainWorkers,
+	})
 	stats, err := m.Train(env.Train)
 	if err != nil {
 		return err

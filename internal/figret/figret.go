@@ -20,8 +20,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"figret/internal/nn"
 	"figret/internal/te"
@@ -56,6 +54,22 @@ type Config struct {
 	// fixed BatchSize the trajectory is bitwise identical to sequential
 	// per-sample evaluation with gradient accumulation (TrainSequential).
 	BatchSize int
+	// TrainWorkers sizes the data-parallel training worker pool: minibatch
+	// rows are sharded across workers and the per-worker gradients are
+	// combined by a fixed-order tree reduction, so the loss trajectory and
+	// the trained weights are bitwise identical for every value (DESIGN.md
+	// §10). 0 (the default) selects GOMAXPROCS; 1 trains single-threaded.
+	// Excluded from model serialization: it is an execution knob of the
+	// machine that trains, not a property of the trained model — saved
+	// models must be byte-identical for any worker count.
+	TrainWorkers int `json:"-"`
+	// MacroBatch is the number of micro-batches of BatchSize samples whose
+	// gradients accumulate before each Adam step (default 1: one step per
+	// minibatch). K micro-batches keep the per-pass working set at
+	// BatchSize rows while stepping on K·BatchSize summed gradients; when
+	// BatchSize is a multiple of nn.GradShardRows the trajectory is
+	// bitwise identical to a flat batch of K·BatchSize.
+	MacroBatch int
 	// LRDecay multiplies the learning rate after every epoch (default 1:
 	// constant rate). Values slightly below 1 (e.g. 0.95) stabilize the
 	// final epochs on bursty traces.
@@ -97,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 1
+	}
+	if c.MacroBatch <= 0 {
+		c.MacroBatch = 1
 	}
 	if c.LRDecay == 0 {
 		c.LRDecay = 1
@@ -228,22 +245,25 @@ func (m *Model) sampleOrder(tr *traffic.Trace) []int {
 
 // Train fits the model on tr under the protocol of §4.3 — for every t in
 // [H, len), the window {D_{t-H}..D_{t-1}} is the input and the revealed
-// D_t scores the output configuration — executed by the batched minibatch
-// engine: each shuffled minibatch of Cfg.BatchSize windows is assembled
-// into a row-major [B][H·K] matrix (Trace.WindowInto, no allocation), run
-// through nn.MLP.BatchForward, scored per sample by lossAndGrad in
-// parallel across a pool of lossScratch workers, and backpropagated with
-// one nn.MLP.BatchBackward before a single Adam step. With BatchSize 1
-// this reduces to the paper's per-sample updates; the loss trajectory is
-// bitwise identical to TrainSequential at every batch size.
+// D_t scores the output configuration — executed by the deterministic
+// data-parallel engine (nn.DataParallel, DESIGN.md §10): each shuffled
+// minibatch of Cfg.BatchSize windows is assembled into a row-major
+// [B][H·K] matrix in scaled form (scaledWindowInto, single pass, no
+// allocation), cut into shards of nn.GradShardRows rows that
+// Cfg.TrainWorkers workers forward, score (lossAndGrad on per-lane
+// lossScratch state) and backpropagate independently, and the per-lane
+// gradients are tree-reduced in fixed order before each Adam step. With
+// Cfg.MacroBatch > 1, that many micro-batches accumulate before a step.
+// The loss trajectory and final weights are bitwise identical for every
+// worker count, and bitwise identical to TrainSequential at every
+// (BatchSize, MacroBatch).
 func (m *Model) Train(tr *traffic.Trace) (TrainStats, error) {
 	if err := m.fitTrace(tr); err != nil {
 		return TrainStats{}, err
 	}
-	H := m.Cfg.H
 	batch := m.Cfg.BatchSize
-	in := H * m.PS.Pairs.Count()
-	P := m.PS.NumPaths()
+	macro := m.Cfg.MacroBatch
+	in := m.Cfg.H * m.PS.Pairs.Count()
 
 	opt := nn.NewAdam(m.Cfg.LR)
 	rng := rand.New(rand.NewSource(m.Cfg.Seed + 1))
@@ -252,46 +272,59 @@ func (m *Model) Train(tr *traffic.Trace) (TrainStats, error) {
 		batch = len(order)
 	}
 
-	scratch := nn.NewScratch(m.Net, batch)
+	eng := nn.NewDataParallel(m.Net, m.Cfg.TrainWorkers)
 	xb := make([]float64, batch*in)  // minibatch input matrix [B][H·K]
-	dyb := make([]float64, batch*P)  // minibatch output gradient [B][P]
 	losses := make([]float64, batch) // per-sample losses, summed in order
 	mlus := make([]float64, batch)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > batch {
-		workers = batch
+	// Loss-evaluation state is lane-indexed: the engine guarantees
+	// concurrent score calls carry distinct lanes, so each entry has one
+	// user at a time. Allocated on first use per lane.
+	var pool [nn.MaxGradLanes]*lossScratch
+	var mb []int // targets of the micro-batch currently being scored
+	score := func(lane int, y []float64, r0, r1 int, dy []float64) {
+		ls := pool[lane]
+		if ls == nil {
+			ls = newLossScratch(m.PS)
+			pool[lane] = ls
+		}
+		P := m.PS.NumPaths()
+		for bi := r0; bi < r1; bi++ {
+			yr := y[(bi-r0)*P : (bi-r0+1)*P]
+			r := normalizePerPairInto(m.PS, yr, ls)
+			loss, mlu, gr := m.lossAndGrad(r, tr.At(mb[bi]), ls)
+			normalizeGradInto(m.PS, gr, ls, dy[(bi-r0)*P:(bi-r0+1)*P])
+			losses[bi], mlus[bi] = loss, mlu
+		}
 	}
-	pool := make([]*lossScratch, workers)
-	for i := range pool {
-		pool[i] = newLossScratch(m.PS)
-	}
-	inv := 1 / m.Scale
 
 	stats := TrainStats{}
 	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var sumLoss, sumMLU float64
+		micros := 0
 		for start := 0; start < len(order); start += batch {
 			bs := batch
 			if rem := len(order) - start; bs > rem {
 				bs = rem
 			}
-			mb := order[start : start+bs]
+			mb = order[start : start+bs]
 			for bi, t := range mb {
 				wt := t
 				if m.Cfg.SelfTarget {
 					wt = t + 1
 				}
-				row := xb[bi*in : (bi+1)*in]
-				tr.WindowInto(row, wt, H)
-				for i := range row {
-					row[i] *= inv
-				}
+				m.scaledWindowInto(xb[bi*in:(bi+1)*in], tr, wt)
 			}
-			yb := m.Net.BatchForward(xb[:bs*in], bs, scratch)
-			m.batchLoss(yb, mb, tr, dyb, losses, mlus, pool)
-			m.Net.BatchBackward(dyb[:bs*P], bs, scratch)
-			opt.Step(m.Net)
+			eng.Accumulate(xb[:bs*in], bs, score)
+			micros++
+			// An epoch always ends with a step, even on a short macro —
+			// gradients never carry across epochs (matches the historical
+			// trailing partial step).
+			if micros == macro || start+bs == len(order) {
+				eng.Reduce()
+				opt.Step(m.Net)
+				micros = 0
+			}
 			for bi := 0; bi < bs; bi++ {
 				sumLoss += losses[bi]
 				sumMLU += mlus[bi]
@@ -305,55 +338,15 @@ func (m *Model) Train(tr *traffic.Trace) (TrainStats, error) {
 	return stats, nil
 }
 
-// batchLoss evaluates loss, hard-max MLU and dL/dy for every sample of the
-// minibatch, sharding the samples across the lossScratch pool (one worker
-// goroutine per scratch; inline when the pool has a single entry). Sample
-// bi of yb is scored against the revealed demand tr.At(mb[bi]); results
-// land in dyb[bi·P:], losses[bi], mlus[bi], so the output is deterministic
-// regardless of scheduling.
-func (m *Model) batchLoss(yb []float64, mb []int, tr *traffic.Trace, dyb, losses, mlus []float64, pool []*lossScratch) {
-	bs := len(mb)
-	if len(pool) <= 1 {
-		m.scoreSamples(pool[0], yb, mb, tr, dyb, losses, mlus, 0, bs)
-		return
-	}
-	chunk := (bs + len(pool) - 1) / len(pool)
-	var wg sync.WaitGroup
-	for w, ls := range pool {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > bs {
-			hi = bs
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(ls *lossScratch, lo, hi int) {
-			defer wg.Done()
-			m.scoreSamples(ls, yb, mb, tr, dyb, losses, mlus, lo, hi)
-		}(ls, lo, hi)
-	}
-	wg.Wait()
-}
-
-// scoreSamples scores minibatch samples [lo,hi) on one lossScratch worker.
-func (m *Model) scoreSamples(ls *lossScratch, yb []float64, mb []int, tr *traffic.Trace, dyb, losses, mlus []float64, lo, hi int) {
-	P := m.PS.NumPaths()
-	for bi := lo; bi < hi; bi++ {
-		y := yb[bi*P : (bi+1)*P]
-		r := normalizePerPairInto(m.PS, y, ls)
-		loss, mlu, gr := m.lossAndGrad(r, tr.At(mb[bi]), ls)
-		normalizeGradInto(m.PS, gr, ls, dyb[bi*P:(bi+1)*P])
-		losses[bi], mlus[bi] = loss, mlu
-	}
-}
-
-// TrainSequential is the pre-batching reference trainer: per-sample
-// forward/backward with gradient accumulation every Cfg.BatchSize samples.
-// It is retained as the equivalence oracle for Train (identical seeds must
-// produce bitwise-identical loss trajectories) and as the baseline the
-// BenchmarkTrainStep micro-benchmarks compare the batched engine against.
+// TrainSequential is the single-sample reference trainer: per-sample
+// forward/backward, gradients folded through the same canonical shard
+// reduction as the data-parallel engine — partials of nn.GradShardRows
+// consecutive samples land in lane (shard mod nn.MaxGradLanes) and are
+// tree-reduced in fixed order before each Adam step (every BatchSize
+// samples, times MacroBatch). It is retained as the equivalence oracle
+// for Train (identical seeds must produce bitwise-identical loss
+// trajectories) and as the baseline the BenchmarkTrainStep
+// micro-benchmarks compare the data-parallel engine against.
 func (m *Model) TrainSequential(tr *traffic.Trace) (TrainStats, error) {
 	if err := m.fitTrace(tr); err != nil {
 		return TrainStats{}, err
@@ -364,10 +357,62 @@ func (m *Model) TrainSequential(tr *traffic.Trace) (TrainStats, error) {
 	stats := TrainStats{}
 	scratch := newLossScratch(m.PS)
 	batch := m.Cfg.BatchSize
+	if batch > len(order) {
+		batch = len(order)
+	}
+	macro := m.Cfg.MacroBatch
+
+	// Canonical shard reduction, mirroring nn.DataParallel: the network's
+	// own gradient buffers accumulate one shard at a time; each closed
+	// shard is moved into its lane slot (first shard of a lane copies,
+	// later shards add — one rounded add per element), and lanes [0,used)
+	// are tree-reduced back into the network before each optimizer step.
+	netg := m.Net.GradView()
+	var lanes [nn.MaxGradLanes]*nn.Grads
+	var dirty [nn.MaxGradLanes]bool
+	shards := 0    // shards closed since the last step
+	shardRows := 0 // samples in the currently open shard
+	closeShard := func() {
+		if shardRows == 0 {
+			return
+		}
+		lane := shards % nn.MaxGradLanes
+		if lanes[lane] == nil {
+			lanes[lane] = nn.NewGrads(m.Net)
+		}
+		if dirty[lane] {
+			lanes[lane].Add(netg)
+		} else {
+			lanes[lane].CopyFrom(netg)
+			dirty[lane] = true
+		}
+		m.Net.ZeroGrads()
+		shards++
+		shardRows = 0
+	}
+	step := func() {
+		closeShard()
+		used := shards
+		if used > nn.MaxGradLanes {
+			used = nn.MaxGradLanes
+		}
+		if used > 0 {
+			nn.TreeReduce(lanes[:used])
+			netg.Add(lanes[0])
+			for i := 0; i < used; i++ {
+				lanes[i].Zero()
+				dirty[i] = false
+			}
+		}
+		shards = 0
+		opt.Step(m.Net)
+	}
+
 	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var sumLoss, sumMLU float64
 		pending := 0
+		micros := 0
 		for _, t := range order {
 			wt := t
 			if m.Cfg.SelfTarget {
@@ -379,16 +424,25 @@ func (m *Model) TrainSequential(tr *traffic.Trace) (TrainStats, error) {
 			loss, mlu, gr := m.lossAndGrad(r, tr.At(t), scratch)
 			dy := dRtoY(gr)
 			m.Net.Backward(dy)
+			shardRows++
+			if shardRows == nn.GradShardRows {
+				closeShard()
+			}
 			pending++
-			if pending >= batch {
-				opt.Step(m.Net)
+			if pending == batch {
+				closeShard()
 				pending = 0
+				micros++
+				if micros == macro {
+					step()
+					micros = 0
+				}
 			}
 			sumLoss += loss
 			sumMLU += mlu
 		}
-		if pending > 0 {
-			opt.Step(m.Net)
+		if pending > 0 || micros > 0 {
+			step()
 		}
 		opt.LR *= m.Cfg.LRDecay
 		n := float64(len(order))
@@ -407,10 +461,7 @@ func (m *Model) Predict(window []float64) (*te.Config, error) {
 		return nil, fmt.Errorf("figret: window has %d entries, want %d", len(window), want)
 	}
 	x := make([]float64, len(window))
-	inv := 1 / m.Scale
-	for i, v := range window {
-		x[i] = v * inv
-	}
+	scaleInto(x, window, 1/m.Scale)
 	y := m.Net.Forward(x)
 	cfg := te.NewConfig(m.PS)
 	copy(cfg.R, y)
@@ -455,8 +506,8 @@ func (p *Predictor) Predict(window []float64) (*te.Config, error) {
 	if len(window) != len(p.x) {
 		return nil, fmt.Errorf("figret: window has %d entries, want %d", len(window), len(p.x))
 	}
-	copy(p.x, window)
-	return p.predictScaled(), nil
+	scaleInto(p.x, window, 1/p.m.Scale)
+	return p.forward(), nil
 }
 
 // PredictAt returns the configuration for snapshot t of tr from the
@@ -465,18 +516,14 @@ func (p *Predictor) PredictAt(tr *traffic.Trace, t int) (*te.Config, error) {
 	if t < p.m.Cfg.H || t > tr.Len() {
 		return nil, fmt.Errorf("figret: snapshot %d outside predictable range [%d,%d]", t, p.m.Cfg.H, tr.Len())
 	}
-	tr.WindowInto(p.x, t, p.m.Cfg.H)
-	return p.predictScaled(), nil
+	p.m.scaledWindowInto(p.x, tr, t)
+	return p.forward(), nil
 }
 
-// predictScaled normalizes p.x in place, runs the batch-1 forward pass on
+// forward runs the batch-1 forward pass on the already-scaled p.x using
 // the predictor-owned scratch and converts the outputs to a feasible
 // configuration.
-func (p *Predictor) predictScaled() *te.Config {
-	inv := 1 / p.m.Scale
-	for i := range p.x {
-		p.x[i] *= inv
-	}
+func (p *Predictor) forward() *te.Config {
 	y := p.m.Net.BatchForward(p.x, 1, p.scratch)
 	cfg := te.NewConfig(p.m.PS)
 	copy(cfg.R, y)
@@ -484,13 +531,39 @@ func (p *Predictor) predictScaled() *te.Config {
 	return cfg
 }
 
+// scaleInto writes dst[i] = src[i]·f in one pass — the shared fusion of
+// copy and input scaling used by window assembly and inference. dst must
+// be at least len(src) long; exactly len(src) entries are written.
+func scaleInto(dst, src []float64, f float64) {
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = v * f
+	}
+}
+
+// scaledWindowInto assembles the H-snapshot window ending before t (the
+// layout of traffic.Trace.WindowInto) directly in input-scaled form: each
+// snapshot is copied and divided by Scale in a single fused pass, so
+// minibatch assembly touches every row of xb exactly once.
+func (m *Model) scaledWindowInto(dst []float64, tr *traffic.Trace, t int) {
+	H := m.Cfg.H
+	if t < H || t > tr.Len() {
+		panic(fmt.Sprintf("figret: window t=%d H=%d len=%d", t, H, tr.Len()))
+	}
+	k := tr.Pairs.Count()
+	if len(dst) != H*k {
+		panic(fmt.Sprintf("figret: window dst has %d entries, want %d", len(dst), H*k))
+	}
+	inv := 1 / m.Scale
+	for i := 0; i < H; i++ {
+		scaleInto(dst[i*k:(i+1)*k], tr.At(t-H+i), inv)
+	}
+}
+
 // normalizedWindow returns the scaled input vector for snapshot t.
 func (m *Model) normalizedWindow(tr *traffic.Trace, t int) []float64 {
-	w := tr.Window(t, m.Cfg.H)
-	inv := 1 / m.Scale
-	for i := range w {
-		w[i] *= inv
-	}
+	w := make([]float64, m.Cfg.H*tr.Pairs.Count())
+	m.scaledWindowInto(w, tr, t)
 	return w
 }
 

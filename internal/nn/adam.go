@@ -6,7 +6,11 @@ import (
 )
 
 // Adam implements the Adam optimizer (Kingma & Ba 2014), the optimizer
-// FIGRET trains with (Appendix D.4).
+// FIGRET trains with (Appendix D.4). Moment buffers are index-addressed
+// per-tensor slices in VisitParams order, allocated on the first Step —
+// the same layout as Grads — so the hot loop touches no maps and the
+// optimizer's identity contract is positional (tensor i of the visited
+// network) rather than the old fragile pointer-to-first-element keying.
 type Adam struct {
 	LR      float64
 	Beta1   float64
@@ -14,8 +18,8 @@ type Adam struct {
 	Epsilon float64
 
 	t int
-	m map[*float64][]float64 // first-moment buffers keyed by tensor head
-	v map[*float64][]float64 // second-moment buffers
+	m [][]float64 // first-moment buffers, VisitParams order
+	v [][]float64 // second-moment buffers
 }
 
 // NewAdam returns an Adam optimizer with the standard defaults
@@ -24,28 +28,34 @@ func NewAdam(lr float64) *Adam {
 	if lr <= 0 {
 		panic(fmt.Sprintf("nn: learning rate %v must be positive", lr))
 	}
-	return &Adam{
-		LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8,
-		m: make(map[*float64][]float64),
-		v: make(map[*float64][]float64),
-	}
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
 }
 
 // Step applies one Adam update to every parameter tensor of net using the
-// gradients accumulated since the last ZeroGrads, then clears them.
+// gradients accumulated since the last ZeroGrads, then clears them. The
+// first Step binds the optimizer to net's shape; reusing it on a
+// different architecture panics instead of silently re-keying.
 func (a *Adam) Step(net *MLP) {
 	a.t++
 	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	if a.m == nil {
+		net.VisitParams(func(params, _ []float64) {
+			a.m = append(a.m, make([]float64, len(params)))
+			a.v = append(a.v, make([]float64, len(params)))
+		})
+	}
+	ti := 0
 	net.VisitParams(func(params, grads []float64) {
-		key := &params[0]
-		mBuf, ok := a.m[key]
-		if !ok {
-			mBuf = make([]float64, len(params))
-			a.m[key] = mBuf
-			a.v[key] = make([]float64, len(params))
+		if ti >= len(a.m) || len(a.m[ti]) != len(params) {
+			panic("nn: Adam state bound to a different architecture")
 		}
-		vBuf := a.v[key]
+		mBuf, vBuf := a.m[ti], a.v[ti]
+		ti++
+		n := len(params)
+		grads = grads[:n]
+		mBuf = mBuf[:n]
+		vBuf = vBuf[:n]
 		for i := range params {
 			g := grads[i]
 			mBuf[i] = a.Beta1*mBuf[i] + (1-a.Beta1)*g
@@ -55,6 +65,9 @@ func (a *Adam) Step(net *MLP) {
 			params[i] -= a.LR * mh / (math.Sqrt(vh) + a.Epsilon)
 		}
 	})
+	if ti != len(a.m) {
+		panic("nn: Adam state bound to a different architecture")
+	}
 	net.ZeroGrads()
 }
 

@@ -86,6 +86,13 @@ func (s *Scratch) check(m *MLP, b int) {
 // copied into an owned buffer, so the caller may reuse it immediately. The
 // returned [b][Out] matrix is owned by s and valid until the next call.
 func (m *MLP) BatchForward(x []float64, b int, s *Scratch) []float64 {
+	return m.batchForward(x, b, s, false)
+}
+
+// batchForward is BatchForward with a serial switch: serial forces the
+// per-layer kernels single-threaded, which the data-parallel engine uses
+// so its worker goroutines never nest another parallelFor.
+func (m *MLP) batchForward(x []float64, b int, s *Scratch, serial bool) []float64 {
 	s.check(m, b)
 	in := s.sizes[0]
 	if len(x) != b*in {
@@ -93,7 +100,7 @@ func (m *MLP) BatchForward(x []float64, b int, s *Scratch) []float64 {
 	}
 	copy(s.acts[0][:b*in], x)
 	for i, l := range m.Layers {
-		l.BatchForward(s.acts[i][:b*l.In], s.acts[i+1][:b*l.Out], b)
+		l.batchForward(s.acts[i][:b*l.In], s.acts[i+1][:b*l.Out], b, serial)
 	}
 	return s.acts[len(m.Layers)][:b*s.sizes[len(s.sizes)-1]]
 }
@@ -103,6 +110,15 @@ func (m *MLP) BatchForward(x []float64, b int, s *Scratch) []float64 {
 // Backward calls would (bitwise-identical sums, samples in row order). It
 // returns dL/d(input), owned by s. dOut is not modified.
 func (m *MLP) BatchBackward(dOut []float64, b int, s *Scratch) []float64 {
+	return m.batchBackward(dOut, b, s, nil, false)
+}
+
+// batchBackward is BatchBackward with two extensions for the data-parallel
+// engine: g selects an alternate gradient-accumulation target (nil means
+// the network's own GW/GB), and serial forces single-threaded kernels.
+// Tensor i of g pairs with VisitParams order: g.t[2i] = layer i weights,
+// g.t[2i+1] = layer i biases.
+func (m *MLP) batchBackward(dOut []float64, b int, s *Scratch, g *Grads, serial bool) []float64 {
 	s.check(m, b)
 	L := len(m.Layers)
 	out := s.sizes[L]
@@ -112,8 +128,12 @@ func (m *MLP) BatchBackward(dOut []float64, b int, s *Scratch) []float64 {
 	copy(s.grads[L][:b*out], dOut)
 	for i := L - 1; i >= 0; i-- {
 		l := m.Layers[i]
-		l.BatchBackward(s.acts[i][:b*l.In], s.acts[i+1][:b*l.Out],
-			s.grads[i+1][:b*l.Out], s.grads[i][:b*l.In], b)
+		gw, gb := l.GW, l.GB
+		if g != nil {
+			gw, gb = g.t[2*i], g.t[2*i+1]
+		}
+		l.batchBackward(s.acts[i][:b*l.In], s.acts[i+1][:b*l.Out],
+			s.grads[i+1][:b*l.Out], s.grads[i][:b*l.In], gw, gb, b, serial)
 	}
 	return s.grads[0][:b*s.sizes[0]]
 }
@@ -122,6 +142,10 @@ func (m *MLP) BatchBackward(dOut []float64, b int, s *Scratch) []float64 {
 // shape [b][In] into y of shape [b][Out]. It retains no references to its
 // arguments. Equivalent to b Forward calls, bitwise.
 func (d *Dense) BatchForward(x, y []float64, b int) {
+	d.batchForward(x, y, b, false)
+}
+
+func (d *Dense) batchForward(x, y []float64, b int, serial bool) {
 	if len(x) != b*d.In {
 		panic(fmt.Sprintf("nn: batch input size %d, want %d×%d", len(x), b, d.In))
 	}
@@ -132,7 +156,7 @@ func (d *Dense) BatchForward(x, y []float64, b int) {
 		d.forwardBlock(x, y, 0, b, 0, d.Out)
 		return
 	}
-	if runtime.GOMAXPROCS(0) <= 1 {
+	if serial || runtime.GOMAXPROCS(0) <= 1 {
 		// Serial but still tiled for cache; no closure allocations.
 		for b0 := 0; b0 < b; b0 += tileRows {
 			b1 := min(b0+tileRows, b)
@@ -194,21 +218,32 @@ func (d *Dense) forwardBlock(x, y []float64, b0, b1, o0, o1 int) {
 // clobbered (overwritten with the post-activation deltas). Gradient sums
 // are bitwise identical to b sequential Backward calls in row order.
 func (d *Dense) BatchBackward(x, y, dy, dx []float64, b int) {
+	d.batchBackward(x, y, dy, dx, d.GW, d.GB, b, false)
+}
+
+// batchBackward is BatchBackward with an explicit gradient target (gw, gb)
+// — the data-parallel engine points it at per-worker shard buffers — and a
+// serial switch that keeps worker goroutines from nesting parallelFor.
+func (d *Dense) batchBackward(x, y, dy, dx, gw, gb []float64, b int, forceSerial bool) {
 	if len(x) != b*d.In || len(y) != b*d.Out || len(dy) != b*d.Out || len(dx) != b*d.In {
 		panic(fmt.Sprintf("nn: batch backward shapes x=%d y=%d dy=%d dx=%d for b=%d (%d×%d layer)",
 			len(x), len(y), len(dy), len(dx), b, d.In, d.Out))
 	}
-	serial := b*d.In*d.Out < parallelThreshold || runtime.GOMAXPROCS(0) <= 1
+	if len(gw) != d.Out*d.In || len(gb) != d.Out {
+		panic(fmt.Sprintf("nn: batch backward grad target gw=%d gb=%d for %d×%d layer",
+			len(gw), len(gb), d.In, d.Out))
+	}
+	serial := forceSerial || b*d.In*d.Out < parallelThreshold || runtime.GOMAXPROCS(0) <= 1
 	// Pass 1 — deltas and parameter gradients, sharded over output rows so
-	// every GW row and GB entry has a single writer. Within a row, samples
+	// every gw row and gb entry has a single writer. Within a row, samples
 	// accumulate in batch order, matching sequential execution.
 	if serial {
-		d.backwardGradBlock(x, y, dy, 0, d.Out, b)
+		d.backwardGradBlock(x, y, dy, gw, gb, 0, d.Out, b)
 	} else {
 		parallelFor((d.Out+tileOuts-1)/tileOuts, func(lo, hi int) {
 			for t := lo; t < hi; t++ {
 				o0 := t * tileOuts
-				d.backwardGradBlock(x, y, dy, o0, min(o0+tileOuts, d.Out), b)
+				d.backwardGradBlock(x, y, dy, gw, gb, o0, min(o0+tileOuts, d.Out), b)
 			}
 		})
 	}
@@ -228,13 +263,14 @@ func (d *Dense) BatchBackward(x, y, dy, dx []float64, b int) {
 }
 
 // backwardGradBlock handles pass 1 for output rows [o0,o1): it rewrites
-// dy entries as post-activation deltas g = dy·σ′(y) and accumulates GB and
-// the rank-b GW row updates, two batch rows per sweep.
-func (d *Dense) backwardGradBlock(x, y, dy []float64, o0, o1, b int) {
+// dy entries as post-activation deltas g = dy·σ′(y) and accumulates into
+// the bias-gradient target gbuf and the rank-b weight-gradient row updates
+// of gwbuf, two batch rows per sweep.
+func (d *Dense) backwardGradBlock(x, y, dy, gwbuf, gbuf []float64, o0, o1, b int) {
 	in, out := d.In, d.Out
 	for o := o0; o < o1; o++ {
-		grow := d.GW[o*in : o*in+in]
-		gb := d.GB[o]
+		grow := gwbuf[o*in : o*in+in]
+		gb := gbuf[o]
 		bi := 0
 		for ; bi+2 <= b; bi += 2 {
 			g0 := dy[bi*out+o] * d.Act.derivFromOutput(y[bi*out+o])
@@ -264,7 +300,7 @@ func (d *Dense) backwardGradBlock(x, y, dy []float64, o0, o1, b int) {
 				axpy(grow, x[bi*in:bi*in+in], g)
 			}
 		}
-		d.GB[o] = gb
+		gbuf[o] = gb
 	}
 }
 
@@ -301,12 +337,14 @@ func (d *Dense) backwardInputBlock(dy, dx []float64, b0, b1 int) {
 // dot2x2 computes the four dot products {w0,w1}·{x0,x1}. Each of the four
 // accumulators follows dot()'s 4-wide grouping, so every result is bitwise
 // identical to the corresponding dot(w, x) — but the four chains are
-// independent, hiding floating-point add latency.
+// independent, hiding floating-point add latency. Reslicing every operand
+// to n lets the compiler prove all indices in-bounds (zero bounds checks
+// in the loops; verify with go build -gcflags=-d=ssa/check_bce).
 func dot2x2(w0, w1, x0, x1 []float64) (s00, s01, s10, s11 float64) {
 	n := len(w0)
-	_ = w1[n-1]
-	_ = x0[n-1]
-	_ = x1[n-1]
+	w1 = w1[:n]
+	x0 = x0[:n]
+	x1 = x1[:n]
 	i := 0
 	for ; i+4 <= n; i += 4 {
 		a0, a1, a2, a3 := w0[i], w0[i+1], w0[i+2], w0[i+3]
@@ -329,10 +367,11 @@ func dot2x2(w0, w1, x0, x1 []float64) (s00, s01, s10, s11 float64) {
 }
 
 // axpy computes dst[i] += a·src[i], 4-way unrolled. Element updates are
-// independent, so unrolling cannot change results.
+// independent, so unrolling cannot change results. src is resliced to
+// len(dst) so both loops run bounds-check-free.
 func axpy(dst, src []float64, a float64) {
 	n := len(dst)
-	_ = src[n-1]
+	src = src[:n]
 	i := 0
 	for ; i+4 <= n; i += 4 {
 		dst[i] += a * src[i]
@@ -347,11 +386,12 @@ func axpy(dst, src []float64, a float64) {
 
 // axpy2 computes dst[i] += a·u[i]; dst[i] += b·v[i] as two separate adds
 // per element (preserving sequential rounding) while loading and storing
-// dst only once.
+// dst only once. u and v are resliced to len(dst) so both loops run
+// bounds-check-free.
 func axpy2(dst, u, v []float64, a, b float64) {
 	n := len(dst)
-	_ = u[n-1]
-	_ = v[n-1]
+	u = u[:n]
+	v = v[:n]
 	i := 0
 	for ; i+4 <= n; i += 4 {
 		t0 := dst[i] + a*u[i]

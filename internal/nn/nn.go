@@ -166,7 +166,8 @@ func (d *Dense) ZeroGrads() {
 func dot(a, b []float64) float64 {
 	var s float64
 	n := len(a)
-	// 4-way unrolled.
+	// 4-way unrolled; reslicing b to n makes both loops bounds-check-free.
+	b = b[:n]
 	i := 0
 	for ; i+4 <= n; i += 4 {
 		s += a[i]*b[i] + a[i+1]*b[i+1] + a[i+2]*b[i+2] + a[i+3]*b[i+3]

@@ -1,0 +1,230 @@
+package nn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the deterministic data-parallel training engine
+// (DESIGN.md §10). A minibatch is cut into fixed-size shards of
+// GradShardRows consecutive rows; shard g (counted from the last Reduce,
+// i.e. within the current macro-batch) accumulates its gradient partial
+// into lane g mod MaxGradLanes. Lanes — not goroutines — are the unit of
+// state: the partial held by a lane is a pure function of the minibatch
+// rows and the shard layout, and the final sum is produced by a
+// fixed-order pairwise tree over the lanes, so the reduced gradient is
+// bitwise identical for every worker count (including 1, which runs
+// inline with no goroutines at all). Worker scheduling only decides
+// *when* a lane's shards are processed, never *what* they contain.
+
+const (
+	// GradShardRows is the number of consecutive minibatch rows per
+	// gradient shard. It equals tileRows, and — deliberately — the
+	// default figret batch size: any batch of ≤ GradShardRows rows is a
+	// single shard, whose partial is accumulated in row order exactly
+	// like the pre-engine sequential sum, so historical trajectories
+	// (and the blessed scenario goldens) are preserved bit-for-bit.
+	GradShardRows = tileRows
+
+	// MaxGradLanes caps the number of lane partials (and so the memory
+	// overhead: at most MaxGradLanes gradient-sized buffers). Shards
+	// beyond MaxGradLanes wrap onto existing lanes in shard order.
+	// Power of two, so tree(2n) = tree(n)+tree(n) holds at every level
+	// up to a full macro-batch — the property behind macro≡flat bitwise
+	// equivalence for aligned batch sizes.
+	MaxGradLanes = 16
+)
+
+// ScoreFunc computes per-row losses for one shard during Accumulate. It
+// receives the lane index (distinct concurrent calls always carry
+// distinct lanes, so lane-indexed caller state needs no locking), the
+// shard's forward output y of shape [r1-r0][Out], the shard's absolute
+// row range [r0, r1) within the minibatch, and must fill dy (same shape
+// as y) with dL/dy. It may record per-row losses into caller state
+// indexed by absolute row — rows of distinct concurrent shards never
+// collide.
+type ScoreFunc func(lane int, y []float64, r0, r1 int, dy []float64)
+
+// dpLane is one gradient lane: a scratch sized for a single shard, the
+// lane's running partial, and (lazily, only once a lane receives a second
+// shard within a macro-batch) a buffer for computing later shard partials
+// before adding them in.
+type dpLane struct {
+	scratch *Scratch
+	dy      []float64
+	grads   *Grads // running partial; zeroed by Reduce
+	shard   *Grads // scratch for shards after the first; lazily allocated
+	dirty   bool   // grads holds at least one shard since the last Reduce
+}
+
+// DataParallel shards minibatch forward/backward passes across a worker
+// pool with bitwise worker-count-independent gradient sums. Typical use:
+//
+//	eng := NewDataParallel(m, workers)
+//	for each micro-batch {
+//		eng.Accumulate(x, b, score)  // forward + score + backward
+//	}
+//	eng.Reduce()                     // tree-reduce partials into m's GW/GB
+//	opt.Step(m)
+//
+// Accumulate may be called several times before Reduce (macro-batches):
+// the shard counter runs on across calls, so K micro-batches of B rows
+// produce the same shard layout — and, after the tree reduction, the same
+// bits — as one flat batch of K·B rows whenever B is a multiple of
+// GradShardRows.
+//
+// A DataParallel is not safe for concurrent use; it parallelizes
+// internally.
+type DataParallel struct {
+	m       *MLP
+	workers int
+	out     int
+	lanes   [MaxGradLanes]*dpLane
+	shards  int // shards accumulated since the last Reduce
+}
+
+// NewDataParallel builds an engine over m. workers <= 0 selects
+// GOMAXPROCS. Lane buffers are allocated on demand, so a single-worker
+// engine over small batches costs one scratch plus one gradient set.
+func NewDataParallel(m *MLP, workers int) *DataParallel {
+	if len(m.Layers) == 0 {
+		panic("nn: data-parallel engine over empty MLP")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &DataParallel{m: m, workers: workers, out: m.Layers[len(m.Layers)-1].Out}
+}
+
+// Workers returns the resolved worker-pool size.
+func (e *DataParallel) Workers() int { return e.workers }
+
+func (e *DataParallel) lane(i int) *dpLane {
+	ln := e.lanes[i]
+	if ln == nil {
+		ln = &dpLane{
+			scratch: NewScratch(e.m, GradShardRows),
+			dy:      make([]float64, GradShardRows*e.out),
+			grads:   NewGrads(e.m),
+		}
+		e.lanes[i] = ln
+	}
+	return ln
+}
+
+// Accumulate runs forward, scoring, and backward for one micro-batch x of
+// shape [b][In], adding its gradient into the engine's lane partials. The
+// input is consumed before Accumulate returns (workers read it but never
+// write), so the caller may reuse x immediately. Nothing is applied to
+// the network until Reduce.
+func (e *DataParallel) Accumulate(x []float64, b int, score ScoreFunc) {
+	in := e.m.Layers[0].In
+	if b <= 0 {
+		panic(fmt.Sprintf("nn: accumulate batch %d must be positive", b))
+	}
+	if len(x) != b*in {
+		panic(fmt.Sprintf("nn: accumulate input size %d, want %d×%d", len(x), b, in))
+	}
+	n := (b + GradShardRows - 1) / GradShardRows
+	base := e.shards
+	// Work item k ∈ [0, active) owns lane (base+k) mod MaxGradLanes and
+	// processes, in ascending order, every local shard j ≡ k (mod
+	// MaxGradLanes). Lane ownership is exclusive within this call, so
+	// each lane's partial grows in shard order no matter which goroutine
+	// runs it — or whether any goroutines run at all.
+	active := n
+	if active > MaxGradLanes {
+		active = MaxGradLanes
+	}
+	run := func(k int) {
+		laneIdx := (base + k) % MaxGradLanes
+		ln := e.lane(laneIdx)
+		for j := k; j < n; j += MaxGradLanes {
+			r0 := j * GradShardRows
+			r1 := r0 + GradShardRows
+			if r1 > b {
+				r1 = b
+			}
+			rows := r1 - r0
+			y := e.m.batchForward(x[r0*in:r1*in], rows, ln.scratch, true)
+			dy := ln.dy[:rows*e.out]
+			score(laneIdx, y, r0, r1, dy)
+			// The first shard of a lane accumulates straight into the
+			// (zeroed) lane partial; later shards are computed into a
+			// zeroed side buffer and folded in with one rounded add per
+			// element — the canonical reduction order.
+			tgt := ln.grads
+			if ln.dirty {
+				if ln.shard == nil {
+					ln.shard = NewGrads(e.m)
+				} else {
+					ln.shard.Zero()
+				}
+				tgt = ln.shard
+			}
+			e.m.batchBackward(dy, rows, ln.scratch, tgt, true)
+			if ln.dirty {
+				ln.grads.Add(ln.shard)
+			} else {
+				ln.dirty = true
+			}
+		}
+	}
+	workers := e.workers
+	if workers > active {
+		workers = active
+	}
+	if workers <= 1 {
+		for k := 0; k < active; k++ {
+			run(k)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= active {
+						return
+					}
+					run(k)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	e.shards += n
+}
+
+// Reduce folds the lane partials into the network's GW/GB by the fixed
+// pairwise tree over lanes [0, used) and resets the engine for the next
+// macro-batch. It is a no-op if nothing was accumulated. The network's
+// gradient buffers are expected to be zero on entry (optimizer Steps end
+// with ZeroGrads), so after Reduce they hold exactly the reduced sum.
+func (e *DataParallel) Reduce() {
+	used := e.shards
+	if used > MaxGradLanes {
+		used = MaxGradLanes
+	}
+	if used == 0 {
+		return
+	}
+	// The shard counter resets every Reduce, so the dirty lanes are
+	// exactly [0, used).
+	var parts [MaxGradLanes]*Grads
+	for i := 0; i < used; i++ {
+		parts[i] = e.lanes[i].grads
+	}
+	TreeReduce(parts[:used])
+	e.m.GradView().Add(parts[0])
+	for i := 0; i < used; i++ {
+		e.lanes[i].grads.Zero()
+		e.lanes[i].dirty = false
+	}
+	e.shards = 0
+}

@@ -28,6 +28,12 @@ type Options struct {
 	// identical for any value — every cell writes only its own slot and
 	// the shared caches are content-addressed.
 	ScenarioWorkers int
+	// TrainWorkers sizes the data-parallel pool used to train substrate
+	// models (<= 0 selects GOMAXPROCS). Trained weights — and so every
+	// golden-gated metric — are bitwise identical for any value, which is
+	// why this is a runner option and not part of the spec or the model
+	// cache key.
+	TrainWorkers int
 	// PathCache, when non-empty, is the directory of an on-disk
 	// te.PathStore shared with the trainer and the serving daemon: one
 	// candidate-path precomputation per (topology, K) across all cells
@@ -243,6 +249,7 @@ func (r *Runner) modelFor(sp *Spec, env *experiments.Env, kind string) (*figret.
 		cfg := figret.Config{
 			H: t.H, Epochs: t.Epochs, Seed: sp.Seed,
 			Hidden: t.Hidden, BatchSize: t.BatchSize,
+			TrainWorkers: r.opt.TrainWorkers,
 		}
 		var m *figret.Model
 		if kind == SchemeFIGRET {

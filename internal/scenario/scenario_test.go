@@ -114,15 +114,16 @@ func TestLoadSuite(t *testing.T) {
 }
 
 // TestRunDeterminism is the core contract: metrics are a pure function
-// of the spec — identical for any worker count, scenario concurrency,
-// and across runner instances (fresh caches).
+// of the spec — identical for any evaluation worker count, scenario
+// concurrency, training worker count, and across runner instances
+// (fresh caches).
 func TestRunDeterminism(t *testing.T) {
 	spec := podSpec("det")
 	spec.Failures = &FailureSpec{Count: 1, At: 4}
 	var got []*Metrics
 	for _, opt := range []Options{
-		{Workers: 1, ScenarioWorkers: 1},
-		{Workers: 4, ScenarioWorkers: 2},
+		{Workers: 1, ScenarioWorkers: 1, TrainWorkers: 1},
+		{Workers: 4, ScenarioWorkers: 2, TrainWorkers: 3},
 	} {
 		ms, err := NewRunner(opt).Run([]*Spec{spec, podSpec("det2")})
 		if err != nil {
@@ -137,6 +138,33 @@ func TestRunDeterminism(t *testing.T) {
 	}
 	if got[0].Checksum != got[2].Checksum || got[1].Checksum != got[3].Checksum {
 		t.Fatal("checksums differ across runner instances")
+	}
+}
+
+// TestTrainWorkerGoldenByteIdentity pins the golden contract for the
+// data-parallel trainer: a substrate model whose minibatch spans several
+// gradient shards (BatchSize 48 = 3 shards) trains to bitwise-identical
+// weights under any TrainWorkers, so the sealed Metrics payload — and any
+// golden blessed from it — is byte-identical across worker counts.
+func TestTrainWorkerGoldenByteIdentity(t *testing.T) {
+	run := func(workers int) *Metrics {
+		spec := podSpec("golden-tw")
+		spec.Schemes = []string{SchemeFIGRET}
+		spec.Train = &TrainSpec{BatchSize: 48}
+		m, err := NewRunner(Options{TrainWorkers: workers}).RunOne(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(1), run(3)
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("metrics differ across training worker counts:\n%s\n%s", aj, bj)
+	}
+	if a.Checksum != b.Checksum {
+		t.Fatal("checksums differ across training worker counts")
 	}
 }
 

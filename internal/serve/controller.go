@@ -74,6 +74,10 @@ type DriftOptions struct {
 	// Epochs is the retraining epoch budget (default 4; retrains favor
 	// fast turnaround over squeezing out the last fraction of loss).
 	Epochs int
+	// TrainWorkers overrides the retraining worker-pool size (0 inherits
+	// the incumbent model's setting). Retrained weights are bitwise
+	// identical for any value, so this only trades latency for CPU.
+	TrainWorkers int
 	// ShadowWindow is how many recent snapshots the candidate is
 	// shadow-evaluated on before it may replace the incumbent (default 8).
 	ShadowWindow int
@@ -540,6 +544,11 @@ func (c *Controller) retrain(hist *traffic.Trace, incumbent *Checkpoint) {
 	cfg := incumbent.Model.Cfg
 	cfg.Epochs = opt.Epochs
 	cfg.Seed = cfg.Seed + int64(incumbent.Version) // decorrelate restarts
+	if opt.TrainWorkers > 0 {
+		// Worker count never changes the trained bits, so overriding it
+		// here cannot perturb the accept/reject decision.
+		cfg.TrainWorkers = opt.TrainWorkers
+	}
 	cand := figret.New(c.ps, cfg)
 	// Hold the shadow window out of training: the candidate is accepted
 	// on snapshots neither model trained on, so an overfit candidate
