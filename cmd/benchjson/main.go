@@ -14,7 +14,9 @@
 //	  "bytesPerOp":128,"allocsPerOp":3}, ...]
 //
 // Benchmarks that report neither B/op nor allocs/op (no -benchmem) omit
-// those fields. benchjson exits non-zero when the stream contains a
+// those fields. Custom b.ReportMetric measurements (e.g. the serving
+// benchmark's "decisions/s") land in an "extra" map keyed by unit.
+// benchjson exits non-zero when the stream contains a
 // failing test action or no benchmark results at all — an empty report
 // would otherwise read as "no regressions".
 package main
@@ -56,14 +58,19 @@ type Result struct {
 	// BytesPerOp and AllocsPerOp are present with -benchmem.
 	BytesPerOp  *int64 `json:"bytesPerOp,omitempty"`
 	AllocsPerOp *int64 `json:"allocsPerOp,omitempty"`
+	// Extra holds custom b.ReportMetric measurements by unit (e.g.
+	// "decisions/s"). The testing package prints them between ns/op and
+	// the -benchmem columns.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
-// benchLine matches a benchmark result line as emitted by the testing
-// package, e.g.
+// benchLine matches the fixed prefix of a benchmark result line as
+// emitted by the testing package; the metric columns after the
+// iteration count are value/unit pairs parsed separately, so custom
+// b.ReportMetric units survive, e.g.
 //
-//	BenchmarkTrainStep/batch=32-8   100   12345.6 ns/op   128 B/op   3 allocs/op
-var benchLine = regexp.MustCompile(
-	`^(Benchmark[^\s]*?)(?:-(\d+))?\s+(\d+)\s+([0-9.e+]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+//	BenchmarkServeThroughput/wire-8   200   57897 ns/op   17324 decisions/s   17252 B/op   7 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]*?)(?:-(\d+))?\s+(\d+)\s+(\S.*)$`)
 
 // parseLine extracts a Result from one output line, or nil.
 func parseLine(pkg, line string) *Result {
@@ -79,18 +86,36 @@ func parseLine(pkg, line string) *Result {
 	if err != nil {
 		return nil
 	}
-	ns, err := strconv.ParseFloat(m[4], 64)
-	if err != nil {
+	fields := strings.Fields(m[4])
+	if len(fields) < 2 || len(fields)%2 != 0 {
 		return nil
 	}
-	r := &Result{Name: m[1], Package: pkg, Procs: procs, Iterations: iters, NsPerOp: ns}
-	if m[5] != "" {
-		v, _ := strconv.ParseInt(m[5], 10, 64)
-		r.BytesPerOp = &v
+	r := &Result{Name: m[1], Package: pkg, Procs: procs, Iterations: iters, NsPerOp: -1}
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			n := int64(v)
+			r.BytesPerOp = &n
+		case "allocs/op":
+			n := int64(v)
+			r.AllocsPerOp = &n
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = v
+		}
 	}
-	if m[6] != "" {
-		v, _ := strconv.ParseInt(m[6], 10, 64)
-		r.AllocsPerOp = &v
+	if r.NsPerOp < 0 {
+		// Every real result line carries ns/op; without it this was some
+		// other "<word> <number> ..." output.
+		return nil
 	}
 	return r
 }

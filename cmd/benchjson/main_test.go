@@ -20,6 +20,17 @@ func TestParseLine(t *testing.T) {
 		t.Fatalf("no-benchmem line parsed as %+v", r)
 	}
 
+	// Custom b.ReportMetric units print between ns/op and the -benchmem
+	// columns; they must not eat B/op and allocs/op.
+	r = parseLine("serve", "BenchmarkServeThroughput/wire-8 \t 200\t 57897 ns/op\t 17324.5 decisions/s\t 17252 B/op\t 7 allocs/op")
+	if r == nil {
+		t.Fatal("custom-metric line not parsed")
+	}
+	if r.Name != "BenchmarkServeThroughput/wire" || r.NsPerOp != 57897 ||
+		r.Extra["decisions/s"] != 17324.5 || *r.BytesPerOp != 17252 || *r.AllocsPerOp != 7 {
+		t.Fatalf("parsed %+v (extra %v)", r, r.Extra)
+	}
+
 	for _, not := range []string{
 		"goos: linux",
 		"BenchmarkFoo", // name alone (the pre-result echo line)

@@ -20,6 +20,13 @@
 // With -bootstrap=false the daemon starts without models: routing serves
 // the uniform fallback until a checkpoint is uploaded.
 //
+// With -drive the binary becomes a load generator instead of a daemon:
+// it pipelines demand snapshots over the upgraded binary wire protocol
+// against an already-running served instance and reports sustained
+// decisions/sec, RTT quantiles and the delta-encoding mix:
+//
+//	served -topos geant -drive http://127.0.0.1:8080 -driven 20000
+//
 // Startup cost is dominated by candidate-path precomputation (Yen's
 // algorithm over all SD pairs of every served topology). It fans out
 // across all CPUs by default (-pathworkers pins the pool), and -pathcache
@@ -35,6 +42,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"figret/internal/baselines"
 	"figret/internal/eval"
@@ -63,12 +71,24 @@ func main() {
 		pathWorkers = flag.Int("pathworkers", 0, "candidate-path precomputation worker pool size (0 = all CPUs); the path set is bitwise identical for any value")
 
 		trainWorkers = flag.Int("trainworkers", 0, "worker pool size for bootstrap and drift retraining (0 = all CPUs); trained weights are bitwise identical for any value")
+
+		drive      = flag.String("drive", "", "load-generator mode: instead of serving, drive the daemon at this base URL (e.g. http://127.0.0.1:8080) over the pipelined binary wire protocol; the first -topos entry names the target topology")
+		driveN     = flag.Int("driven", 0, "load-generator request count (0 = one pass over the topology's trace)")
+		driveAsync = flag.Bool("driveasync", false, "load-generate asynchronous ingests (acks) instead of per-request decisions")
 	)
 	flag.Parse()
 
 	sc := experiments.ScaleFast
 	if *scale == "full" {
 		sc = experiments.ScaleFull
+	}
+
+	if *drive != "" {
+		topo := strings.TrimSpace(strings.Split(*topos, ",")[0])
+		if err := runDrive(*drive, topo, sc, *T, *seed, *driveN, *driveAsync, *pathCache, *pathWorkers); err != nil {
+			log.Fatalf("served: drive: %v", err)
+		}
+		return
 	}
 
 	reg := serve.NewRegistry()
@@ -87,6 +107,33 @@ func main() {
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatalf("served: %v", err)
 	}
+}
+
+// runDrive is the load-generator mode: it rebuilds the topology's
+// environment (path set + synthetic trace, no training), dials the
+// running daemon's binary stream and pipelines demand snapshots at the
+// adaptive window's sustainable rate, reporting throughput, RTT
+// quantiles and the delta-encoding mix.
+func runDrive(baseURL, topo string, sc experiments.Scale, T int, seed int64, n int, async bool,
+	pathCache string, pathWorkers int) error {
+	env, err := experiments.NewEnv(topo, sc, experiments.EnvOptions{
+		T: T, Seed: seed, PathCache: pathCache, PathWorkers: pathWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := serve.LoadGen(baseURL, topo, env.PS, env.Test, serve.LoadOptions{Requests: n, Async: async})
+	if err != nil {
+		return err
+	}
+	s := &res.Stream
+	log.Printf("drive: %s: %d requests in %s: %.0f decisions/s (%.0f requests/s)",
+		topo, s.Requests, s.Elapsed.Round(time.Millisecond), res.DecisionsPerSec, res.RequestsPerSec)
+	log.Printf("drive: rtt mean %.0fµs p50 %.0fµs p99 %.0fµs; window %d..%d (final %d, %d backoffs)",
+		s.MeanRTTMicros, s.P50RTTMicros, s.P99RTTMicros, s.MinWindow, s.MaxWindow, s.FinalWindow, s.CongestionEvents)
+	log.Printf("drive: %d delta / %d full decisions, %d resyncs, %d redials; %d B sent, %d B received",
+		res.Bin.Deltas, res.Bin.Fulls, res.Bin.Resyncs, res.Bin.Redials, s.BytesSent, s.BytesReceived)
+	return nil
 }
 
 func addTopology(srv *serve.Server, reg *serve.Registry, topo string, sc experiments.Scale,

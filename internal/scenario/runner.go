@@ -39,6 +39,12 @@ type Options struct {
 	// candidate-path precomputation per (topology, K) across all cells
 	// and processes.
 	PathCache string
+	// Wire replays closed-loop scenarios over the upgraded binary stream
+	// protocol (persistent connection, delta-encoded decisions) instead
+	// of JSON HTTP. Decisions are bitwise identical either way, so every
+	// golden-gated metric is unchanged; the switch exercises the binary
+	// data plane in the scenario harness.
+	Wire bool
 	// Log, when non-nil, receives one progress line per completed
 	// scenario.
 	Log func(format string, args ...any)
@@ -448,7 +454,7 @@ func (r *Runner) runClosedLoop(sp *Spec, env *experiments.Env, tr *traffic.Trace
 	}
 
 	rr, err := serve.Replay(serve.NewClient(hs.URL), sp.Topo, env.PS, tr, serve.ReplayOptions{
-		From: m.From - h, To: m.To, Delay: sp.Delay,
+		From: m.From - h, To: m.To, Delay: sp.Delay, Wire: r.opt.Wire,
 	})
 	if err != nil {
 		return err

@@ -3,6 +3,12 @@ package serve
 import (
 	"net/http/httptest"
 	"testing"
+	"time"
+
+	"figret/internal/figret"
+	"figret/internal/graph"
+	"figret/internal/te"
+	"figret/internal/traffic"
 )
 
 // BenchmarkServeDecision measures the serving decision path on the PoD
@@ -78,5 +84,100 @@ func BenchmarkServeDecision(b *testing.B) {
 				b.Fatal("warming mid-benchmark")
 			}
 		}
+	})
+}
+
+// BenchmarkServeThroughput measures the serving data plane's sustained
+// decision throughput on a GEANT WAN replay workload, one sub-benchmark
+// per transport:
+//
+//   - json: the baseline — sequential JSON round trips over HTTP.
+//   - binhttp: the content-negotiated binary codec on the same HTTP
+//     request/response shape (codec win without pipelining).
+//   - wire: the upgraded persistent stream — pipelined, delta-encoded
+//     decisions under the adaptive window (the full data plane).
+//
+// Each reports decisions/s; cmd/benchjson carries the metric into
+// BENCH_scenarios.json. The model is deliberately small so transport
+// cost, not inference, dominates — the quantity under test.
+func BenchmarkServeThroughput(b *testing.B) {
+	const h = 4
+	g := graph.GEANT()
+	ps, err := te.NewPathSet(g, 3, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := traffic.WAN(g.NumVertices(), 60, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := figret.New(ps, figret.Config{H: h, Gamma: 1, Hidden: []int{16}, Epochs: 1, Seed: 7, BatchSize: 16})
+	if _, err := m.Train(tr); err != nil {
+		b.Fatal(err)
+	}
+	reg := NewRegistry()
+	if err := reg.AddTopology("geant", ps); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := reg.Install("geant", m, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(reg)
+	if _, err := srv.Add("geant", ControllerOptions{HistoryCap: 16}); err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+
+	// Warm past the model's history window so every measured request
+	// yields a real decision.
+	warmup := NewClient(hs.URL)
+	for i := 0; i < 2*h; i++ {
+		if _, err := warmup.PostSnapshot("geant", tr.At(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	runHTTP := func(b *testing.B, client *Client) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			rr, err := client.PostSnapshot("geant", tr.At(i%tr.Len()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rr.Warming {
+				b.Fatal("warming mid-benchmark")
+			}
+		}
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "decisions/s")
+	}
+
+	b.Run("json", func(b *testing.B) { runHTTP(b, NewClient(hs.URL)) })
+	b.Run("binhttp", func(b *testing.B) {
+		c := NewClient(hs.URL)
+		c.Binary = true
+		runHTTP(b, c)
+	})
+	b.Run("wire", func(b *testing.B) {
+		bin, err := DialBin(hs.URL, "geant", ps, BinClientOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer bin.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		stats, err := bin.Stream(b.N, func(i int) []float64 { return tr.At(i % tr.Len()) }, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Decisions != b.N {
+			b.Fatalf("streamed %d decisions, want %d", stats.Decisions, b.N)
+		}
+		b.ReportMetric(float64(stats.Decisions)/stats.Elapsed.Seconds(), "decisions/s")
 	})
 }

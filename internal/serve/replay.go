@@ -25,6 +25,13 @@ type ReplayOptions struct {
 	// Initial serves intervals before the first delayed decision lands
 	// (default: the uniform split over the replayed configs' path set).
 	Initial *te.Config
+	// Wire streams snapshots over the upgraded binary protocol (one
+	// persistent connection, delta-encoded decisions) instead of JSON
+	// HTTP requests. The decisions are the same bitwise; only the
+	// transport changes.
+	Wire bool
+	// Bin tunes the binary client when Wire is set.
+	Bin BinClientOptions
 }
 
 // ReplayResult aggregates a closed-loop replay.
@@ -66,6 +73,17 @@ func Replay(client *Client, topo string, ps *te.PathSet, tr *traffic.Trace, opt 
 	if installed == nil {
 		installed = te.UniformConfig(ps)
 	}
+	post := func(demand []float64) (*RoutingResponse, error) {
+		return client.PostSnapshot(topo, demand)
+	}
+	if opt.Wire {
+		bin, err := DialBin(client.BaseURL, topo, ps, opt.Bin)
+		if err != nil {
+			return nil, err
+		}
+		defer bin.Close()
+		post = bin.PostSnapshot
+	}
 
 	res := &ReplayResult{}
 	seen := make(map[int]bool)
@@ -89,7 +107,7 @@ func Replay(client *Client, topo string, ps *te.PathSet, tr *traffic.Trace, opt 
 		// Snapshot t is now revealed: stream it and collect the decision
 		// for the window ending at t (it can serve interval t+Delay at the
 		// earliest).
-		dec, err := client.PostSnapshot(topo, tr.At(t))
+		dec, err := post(tr.At(t))
 		if err != nil {
 			return nil, fmt.Errorf("serve: replay at t=%d: %w", t, err)
 		}

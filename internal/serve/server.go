@@ -1,13 +1,18 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
+
+	"figret/internal/wire"
 )
 
 // maxBodyBytes bounds request bodies (checkpoints for large fabrics are
@@ -35,12 +40,23 @@ const maxBodyBytes = 64 << 20
 // matching offline inference snapshot for snapshot. With "async": true
 // the server acknowledges immediately and bursts coalesce into one
 // decision on the newest window.
+//
+// Next to the JSON surface the server speaks the compact binary wire
+// protocol (internal/wire) on the same listener, content-negotiated:
+// the snapshot and routing endpoints accept binary request bodies
+// (Content-Type wire.MediaType) and answer in kind (Accept
+// wire.MediaType), and GET /v1/wire upgrades the connection to the
+// persistent pipelined stream with delta-encoded decisions that
+// BinClient drives. The JSON API is byte-for-byte untouched — binary is
+// a purely additive fast path.
 type Server struct {
 	reg *Registry
 	mux *http.ServeMux
 
 	mu          sync.RWMutex
 	controllers map[string]*Controller
+	wireConns   map[net.Conn]struct{}
+	wireClosed  bool
 }
 
 // NewServer builds a server over reg. Topologies are added with Add.
@@ -58,6 +74,7 @@ func NewServer(reg *Registry) *Server {
 	s.mux.HandleFunc("POST /v1/topologies/{topo}/checkpoints", s.handleUploadCheckpoint)
 	s.mux.HandleFunc("POST /v1/topologies/{topo}/checkpoints/rollback", s.handleRollback)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/wire", s.handleWire)
 	return s
 }
 
@@ -85,8 +102,11 @@ func (s *Server) Controller(topo string) *Controller {
 	return s.controllers[topo]
 }
 
-// Close stops every controller.
+// Close stops every controller and drops every upgraded wire stream
+// (hijacked connections live outside the HTTP server's lifecycle, so
+// they must be reached explicitly).
 func (s *Server) Close() {
+	s.closeWireConns()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, c := range s.controllers {
@@ -178,21 +198,18 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req SnapshotRequest
-	if !readJSON(w, r, &req) {
+	if isWireRequest(r) {
+		if !readWireSnapshot(w, r, &req) {
+			return
+		}
+	} else if !readJSON(w, r, &req) {
 		return
 	}
 	res, err := c.Ingest(req.Demand, !req.Async)
 	if err != nil {
 		// Only caller faults (malformed demand) are 4xx; lifecycle and
 		// configuration conditions are the server's.
-		switch {
-		case errors.Is(err, ErrClosed):
-			httpError(w, http.StatusServiceUnavailable, err.Error())
-		case errors.Is(err, ErrNeverServable):
-			httpError(w, http.StatusInternalServerError, err.Error())
-		default:
-			httpError(w, http.StatusBadRequest, err.Error())
-		}
+		httpError(w, ingestErrCode(err), err.Error())
 		return
 	}
 	if req.Async {
@@ -200,7 +217,15 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if res.Decision == nil {
+		if wantsWire(r) {
+			writeWireDecision(w, http.StatusOK, &wire.Decision{Snapshot: res.Snapshot, Warming: true})
+			return
+		}
 		writeJSON(w, http.StatusOK, RoutingResponse{Topology: c.Topology(), Snapshot: res.Snapshot, Warming: true})
+		return
+	}
+	if wantsWire(r) {
+		writeWireDecision(w, http.StatusOK, wireDecision(res.Decision))
 		return
 	}
 	writeJSON(w, http.StatusOK, routingResponse(c.Topology(), res.Decision, true))
@@ -209,6 +234,10 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRouting(w http.ResponseWriter, r *http.Request) {
 	c := s.controllerOr404(w, r)
 	if c == nil {
+		return
+	}
+	if wantsWire(r) {
+		writeWireDecision(w, http.StatusOK, wireDecision(c.Decision()))
 		return
 	}
 	writeJSON(w, http.StatusOK, routingResponse(c.Topology(), c.Decision(), true))
@@ -288,15 +317,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// --- JSON plumbing ------------------------------------------------------
+// --- JSON + wire plumbing -----------------------------------------------
+
+// bodyBufPool recycles request-read and response-encode buffers: a
+// burst of large snapshot posts reuses a handful of buffers instead of
+// allocating per request. Buffers that ballooned (multi-MB checkpoint
+// uploads) are dropped rather than pinned.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBuf = 1 << 20
+
+func putBodyBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledBuf {
+		bodyBufPool.Put(buf)
+	}
+}
+
+// readBody reads a bounded request body into a pooled buffer (callers
+// must return it with putBodyBuf).
+func readBody(w http.ResponseWriter, r *http.Request) (*bytes.Buffer, error) {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
+		putBodyBuf(buf)
+		return nil, err
+	}
+	return buf, nil
+}
 
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	buf, err := readBody(w, r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return false
 	}
-	if err := json.Unmarshal(body, v); err != nil {
+	err = json.Unmarshal(buf.Bytes(), v)
+	putBodyBuf(buf)
+	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return false
 	}
@@ -304,9 +361,54 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		putBodyBuf(buf)
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	w.Write(buf.Bytes())
+	putBodyBuf(buf)
+}
+
+// isWireRequest reports a binary-framed request body.
+func isWireRequest(r *http.Request) bool {
+	return strings.HasPrefix(r.Header.Get("Content-Type"), wire.MediaType)
+}
+
+// wantsWire reports that the client negotiated a binary response.
+func wantsWire(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), wire.MediaType)
+}
+
+// readWireSnapshot decodes a binary snapshot-ingest body into req.
+func readWireSnapshot(w http.ResponseWriter, r *http.Request, req *SnapshotRequest) bool {
+	buf, err := readBody(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return false
+	}
+	defer putBodyBuf(buf)
+	t, payload, err := wire.DecodeFrame(buf.Bytes())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return false
+	}
+	if t != wire.TSnapshot {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("expected %s frame, got %s", wire.TSnapshot, t))
+		return false
+	}
+	var m wire.Snapshot
+	if err := wire.DecodeSnapshot(payload, &m); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return false
+	}
+	req.Demand = m.Demand
+	req.Async = m.Async
+	return true
 }
 
 func httpError(w http.ResponseWriter, status int, msg string) {

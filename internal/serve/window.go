@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"math"
+	"time"
+)
+
+// This file is the congestion-control state of the adaptive pipelined
+// client: an RFC 6298-style RTT estimator and a CUBIC-style in-flight
+// window (the on-line end-to-end congestion-control shape of ndn-dpdk's
+// segmented fetcher). Both are pure state machines — time enters only
+// through explicit arguments — so their dynamics are unit-testable
+// without sockets or sleeps.
+
+// rttEstimator tracks smoothed RTT and variance (RFC 6298: SRTT/RTTVAR
+// with gains 1/8 and 1/4) and derives a retransmission-style timeout
+// used as the congestion signal threshold.
+type rttEstimator struct {
+	srtt   time.Duration
+	rttvar time.Duration
+	n      int
+	// MinRTO and MaxRTO clamp the timeout (defaults when zero:
+	// defaultMinRTO/defaultMaxRTO).
+	MinRTO, MaxRTO time.Duration
+}
+
+const (
+	defaultMinRTO = 2 * time.Millisecond
+	defaultMaxRTO = 10 * time.Second
+)
+
+// observe folds one RTT sample in.
+func (r *rttEstimator) observe(rtt time.Duration) {
+	if rtt < 0 {
+		rtt = 0
+	}
+	if r.n == 0 {
+		r.srtt = rtt
+		r.rttvar = rtt / 2
+	} else {
+		d := r.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		r.rttvar += (d - r.rttvar) / 4
+		r.srtt += (rtt - r.srtt) / 8
+	}
+	r.n++
+}
+
+// sRTT returns the smoothed RTT (0 before any sample).
+func (r *rttEstimator) sRTT() time.Duration { return r.srtt }
+
+// rto returns the current timeout: SRTT + 4·RTTVAR, clamped to
+// [MinRTO, MaxRTO]. Before any sample it returns MaxRTO — without an
+// estimate there is no basis to call anything slow.
+func (r *rttEstimator) rto() time.Duration {
+	minRTO, maxRTO := r.MinRTO, r.MaxRTO
+	if minRTO <= 0 {
+		minRTO = defaultMinRTO
+	}
+	if maxRTO <= 0 {
+		maxRTO = defaultMaxRTO
+	}
+	if r.n == 0 {
+		return maxRTO
+	}
+	rto := r.srtt + 4*r.rttvar
+	if rto < minRTO {
+		rto = minRTO
+	}
+	if rto > maxRTO {
+		rto = maxRTO
+	}
+	return rto
+}
+
+// WindowOptions tunes the adaptive in-flight window.
+type WindowOptions struct {
+	// Initial is the starting window (default 4).
+	Initial float64
+	// Min and Max clamp the window (defaults 1 and 256).
+	Min, Max float64
+	// C is the CUBIC aggressiveness constant (default 0.4, the RFC 8312
+	// value).
+	C float64
+	// Beta is the multiplicative-decrease factor applied on a congestion
+	// event (default 0.7, the CUBIC value).
+	Beta float64
+	// MinRTO and MaxRTO clamp the RTT-estimated congestion threshold
+	// (defaults 2ms and 10s).
+	MinRTO, MaxRTO time.Duration
+}
+
+func (o WindowOptions) withDefaults() WindowOptions {
+	if o.Initial <= 0 {
+		o.Initial = 4
+	}
+	if o.Min <= 0 {
+		o.Min = 1
+	}
+	if o.Max <= 0 {
+		o.Max = 256
+	}
+	if o.C <= 0 {
+		o.C = 0.4
+	}
+	if o.Beta <= 0 || o.Beta >= 1 {
+		o.Beta = 0.7
+	}
+	if o.Initial < o.Min {
+		o.Initial = o.Min
+	}
+	if o.Initial > o.Max {
+		o.Initial = o.Max
+	}
+	return o
+}
+
+// cubicWindow is a CUBIC-style congestion window over request count:
+// slow start doubles per RTT until the first congestion event, then
+// window growth follows the cubic W(t) = C·(t−K)³ + Wmax curve —
+// concave recovery toward the pre-backoff plateau Wmax, then convex
+// probing past it. A congestion event backs the window off
+// multiplicatively (×Beta) and starts a new epoch.
+type cubicWindow struct {
+	opt WindowOptions
+
+	cwnd     float64
+	wmax     float64
+	ssthresh float64
+	k        float64 // seconds to climb back to wmax on the cubic curve
+	epoch    time.Time
+}
+
+func newCubicWindow(opt WindowOptions) *cubicWindow {
+	opt = opt.withDefaults()
+	return &cubicWindow{
+		opt:      opt,
+		cwnd:     opt.Initial,
+		ssthresh: math.Inf(1),
+	}
+}
+
+// size returns the integer window: how many requests may be in flight.
+func (c *cubicWindow) size() int {
+	n := int(c.cwnd)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// onAck advances the window for one acknowledged request at time now.
+func (c *cubicWindow) onAck(now time.Time) {
+	if c.cwnd < c.ssthresh {
+		// Slow start: one window per window per RTT.
+		c.cwnd += 1
+		if c.cwnd > c.opt.Max {
+			c.cwnd = c.opt.Max
+		}
+		return
+	}
+	if c.epoch.IsZero() {
+		c.epoch = now
+		wd := c.wmax
+		if wd < c.cwnd {
+			wd = c.cwnd
+		}
+		c.k = math.Cbrt(wd * (1 - c.opt.Beta) / c.opt.C)
+	}
+	t := now.Sub(c.epoch).Seconds()
+	target := c.opt.C*math.Pow(t-c.k, 3) + c.wmax
+	if target > c.cwnd {
+		// Per-ack increment spreads the climb to the target across one
+		// window of acks (the ndn-dpdk fetcher shape).
+		c.cwnd += (target - c.cwnd) / c.cwnd
+	} else {
+		// Below the curve (e.g. right after backoff): probe gently.
+		c.cwnd += 0.01 / c.cwnd
+	}
+	if c.cwnd > c.opt.Max {
+		c.cwnd = c.opt.Max
+	}
+}
+
+// onCongestion applies the multiplicative decrease at time now and
+// starts a new cubic epoch. Callers rate-limit events (at most one per
+// RTT), since every response of an over-full pipeline would otherwise
+// signal the same congestion episode.
+func (c *cubicWindow) onCongestion(now time.Time) {
+	c.wmax = c.cwnd
+	c.cwnd *= c.opt.Beta
+	if c.cwnd < c.opt.Min {
+		c.cwnd = c.opt.Min
+	}
+	c.ssthresh = c.cwnd
+	c.epoch = time.Time{}
+}

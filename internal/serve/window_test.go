@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRTTEstimator(t *testing.T) {
+	var r rttEstimator
+	if r.rto() != defaultMaxRTO {
+		t.Fatalf("rto before any sample = %v, want MaxRTO %v", r.rto(), defaultMaxRTO)
+	}
+
+	r.observe(10 * time.Millisecond)
+	if r.sRTT() != 10*time.Millisecond {
+		t.Fatalf("first sample srtt = %v", r.sRTT())
+	}
+	// RFC 6298 initialization: RTTVAR = R/2, RTO = SRTT + 4·RTTVAR.
+	if r.rto() != 30*time.Millisecond {
+		t.Fatalf("first-sample rto = %v, want 30ms", r.rto())
+	}
+
+	// A steady stream of identical samples drives the variance to zero
+	// and the RTO to the minimum clamp over SRTT.
+	for i := 0; i < 200; i++ {
+		r.observe(10 * time.Millisecond)
+	}
+	if got := r.sRTT(); got < 9*time.Millisecond || got > 11*time.Millisecond {
+		t.Fatalf("converged srtt = %v", got)
+	}
+	if r.rto() >= 30*time.Millisecond {
+		t.Fatalf("rto did not tighten: %v", r.rto())
+	}
+
+	// The clamps hold at both ends.
+	fast := rttEstimator{}
+	fast.observe(time.Microsecond)
+	for i := 0; i < 100; i++ {
+		fast.observe(time.Microsecond)
+	}
+	if fast.rto() != defaultMinRTO {
+		t.Fatalf("min clamp: rto = %v, want %v", fast.rto(), defaultMinRTO)
+	}
+	slow := rttEstimator{MaxRTO: 50 * time.Millisecond}
+	slow.observe(10 * time.Second)
+	if slow.rto() != 50*time.Millisecond {
+		t.Fatalf("max clamp: rto = %v", slow.rto())
+	}
+
+	// Negative samples (clock weirdness) must not poison the estimator.
+	var neg rttEstimator
+	neg.observe(-time.Second)
+	if neg.sRTT() != 0 {
+		t.Fatalf("negative sample srtt = %v", neg.sRTT())
+	}
+}
+
+func TestCubicWindowSlowStart(t *testing.T) {
+	w := newCubicWindow(WindowOptions{})
+	if w.size() != 4 {
+		t.Fatalf("initial window = %d, want 4", w.size())
+	}
+	now := time.Unix(0, 0)
+	// Without congestion, slow start climbs one per ack to the max.
+	for i := 0; i < 1000; i++ {
+		w.onAck(now.Add(time.Duration(i) * time.Millisecond))
+	}
+	if w.size() != 256 {
+		t.Fatalf("uncongested window = %d, want the 256 cap", w.size())
+	}
+}
+
+func TestCubicWindowBackoffAndRecovery(t *testing.T) {
+	w := newCubicWindow(WindowOptions{Initial: 100})
+	now := time.Unix(0, 0)
+
+	w.onCongestion(now)
+	if got := w.size(); got != 70 {
+		t.Fatalf("after backoff from 100: %d, want 70 (beta 0.7)", got)
+	}
+	backedOff := w.size()
+
+	// Cubic recovery: acks with advancing time climb back toward the
+	// pre-backoff plateau (wmax=100) and then past it.
+	for i := 0; i < 400; i++ {
+		now = now.Add(50 * time.Millisecond)
+		w.onAck(now)
+	}
+	if w.size() <= backedOff {
+		t.Fatalf("no recovery: window still %d", w.size())
+	}
+	if w.size() > 256 {
+		t.Fatalf("window exceeded max: %d", w.size())
+	}
+
+	// Repeated congestion floors at Min, never below 1 in flight.
+	for i := 0; i < 50; i++ {
+		now = now.Add(time.Millisecond)
+		w.onCongestion(now)
+	}
+	if w.size() != 1 {
+		t.Fatalf("floor = %d, want 1", w.size())
+	}
+	// And the floor still recovers.
+	for i := 0; i < 2000; i++ {
+		now = now.Add(50 * time.Millisecond)
+		w.onAck(now)
+	}
+	if w.size() < 2 {
+		t.Fatalf("no recovery from floor: %d", w.size())
+	}
+}
+
+func TestWindowOptionsDefaults(t *testing.T) {
+	o := WindowOptions{}.withDefaults()
+	if o.Initial != 4 || o.Min != 1 || o.Max != 256 || o.C != 0.4 || o.Beta != 0.7 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	// Initial is clamped into [Min, Max].
+	o = WindowOptions{Initial: 500}.withDefaults()
+	if o.Initial != 256 {
+		t.Fatalf("initial above max = %v", o.Initial)
+	}
+}

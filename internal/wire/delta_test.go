@@ -1,0 +1,260 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// bigLayout builds a layout of n pairs with k paths each.
+func bigLayout(n, k int) Layout {
+	l := make(Layout, n)
+	p := 0
+	for i := range l {
+		pp := make([]int, k)
+		for j := range pp {
+			pp[j] = p
+			p++
+		}
+		l[i] = pp
+	}
+	return l
+}
+
+func fullDecision(seq int64, layout Layout) *Decision {
+	d := decision(seq)
+	d.Ratios = make([]float64, layout.NumPaths())
+	for i := range d.Ratios {
+		d.Ratios[i] = 1 / float64(len(layout[0]))
+	}
+	return d
+}
+
+// TestDeltaRoundTrip changes one pair of a large decision, encodes the
+// delta, and checks (a) the delta frame is much smaller than the full
+// frame, (b) decode+apply reconstructs the next decision bitwise.
+func TestDeltaRoundTrip(t *testing.T) {
+	layout := bigLayout(100, 3)
+	prev := fullDecision(10, layout)
+	next := fullDecision(11, layout)
+	next.Snapshot = 111
+	next.Rerouted = true
+	// Change pair 42's splits, including a bitwise-only change (-0).
+	next.Ratios[layout[42][0]] = 0.9
+	next.Ratios[layout[42][1]] = 0.1
+	next.Ratios[layout[42][2]] = math.Copysign(0, -1)
+
+	var e Encoder
+	fullLen := len(e.Decision(next))
+	frame, ok := e.DecisionDelta(prev, next, layout)
+	if !ok {
+		t.Fatal("single-pair change produced no delta")
+	}
+	if len(frame) >= fullLen/4 {
+		t.Fatalf("delta frame %dB vs full %dB: not compact", len(frame), fullLen)
+	}
+
+	typ, payload, err := DecodeFrame(append([]byte(nil), frame...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TDelta {
+		t.Fatalf("decoded %s, want %s", typ, TDelta)
+	}
+	var d Delta
+	if err := DecodeDelta(payload, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.BaseSeq != prev.Seq || d.Seq != next.Seq || len(d.Pairs) != 1 || d.Pairs[0].Pair != 42 {
+		t.Fatalf("decoded delta %+v", d)
+	}
+
+	var out Decision
+	if err := ApplyDelta(prev, &d, layout, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != next.Seq || out.Snapshot != next.Snapshot || out.Version != next.Version ||
+		out.Rerouted != next.Rerouted || out.ChurnLimited != next.ChurnLimited ||
+		out.AtUnixNanos != next.AtUnixNanos || out.Warming {
+		t.Fatalf("applied header %+v, want %+v", out, next)
+	}
+	for i := range next.Ratios {
+		if math.Float64bits(out.Ratios[i]) != math.Float64bits(next.Ratios[i]) {
+			t.Fatalf("ratio %d: %x, want %x", i, math.Float64bits(out.Ratios[i]), math.Float64bits(next.Ratios[i]))
+		}
+	}
+}
+
+// TestDeltaIdentical: a decision identical to its base (new seq, same
+// ratios) encodes as an empty-pair delta — the smallest possible frame.
+func TestDeltaIdentical(t *testing.T) {
+	layout := bigLayout(50, 3)
+	prev := fullDecision(1, layout)
+	next := fullDecision(2, layout)
+
+	var e Encoder
+	frame, ok := e.DecisionDelta(prev, next, layout)
+	if !ok {
+		t.Fatal("identical ratios produced no delta")
+	}
+	var d Delta
+	_, payload, err := DecodeFrame(append([]byte(nil), frame...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeDelta(payload, &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Pairs) != 0 {
+		t.Fatalf("identical decisions yielded %d changed pairs", len(d.Pairs))
+	}
+	var out Decision
+	if err := ApplyDelta(prev, &d, layout, &out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range next.Ratios {
+		if out.Ratios[i] != next.Ratios[i] {
+			t.Fatalf("ratio %d drifted", i)
+		}
+	}
+}
+
+// TestDeltaRefusals: deltas are never produced across versions, from or
+// to warming decisions, on layout mismatch, or when everything changed
+// (a full frame is smaller).
+func TestDeltaRefusals(t *testing.T) {
+	layout := bigLayout(10, 3)
+	prev := fullDecision(1, layout)
+	var e Encoder
+
+	across := fullDecision(2, layout)
+	across.Version = prev.Version + 1
+	if _, ok := e.DecisionDelta(prev, across, layout); ok {
+		t.Fatal("delta across versions")
+	}
+
+	warm := &Decision{Seq: 2, Warming: true}
+	if _, ok := e.DecisionDelta(prev, warm, layout); ok {
+		t.Fatal("delta to a warming decision")
+	}
+	if _, ok := e.DecisionDelta(warm, prev, layout); ok {
+		t.Fatal("delta from a warming base")
+	}
+	if _, ok := e.DecisionDelta(nil, prev, layout); ok {
+		t.Fatal("delta from a nil base")
+	}
+
+	// Everything changed: the full encoding wins and DecisionDelta must
+	// decline rather than emit a larger frame.
+	allNew := fullDecision(2, layout)
+	for i := range allNew.Ratios {
+		allNew.Ratios[i] += 0.001 * float64(i+1)
+	}
+	if _, ok := e.DecisionDelta(prev, allNew, layout); ok {
+		t.Fatal("delta larger than full encoding was produced")
+	}
+}
+
+// TestApplyDeltaGap: every base mismatch fails with ErrDeltaGap and
+// leaves out untouched.
+func TestApplyDeltaGap(t *testing.T) {
+	layout := bigLayout(10, 3)
+	prev := fullDecision(5, layout)
+	next := fullDecision(6, layout)
+	next.Ratios[0] = 0.9
+	next.Ratios[1] = 0.1
+	next.Ratios[2] = 0
+
+	var e Encoder
+	frame, ok := e.DecisionDelta(prev, next, layout)
+	if !ok {
+		t.Fatal("no delta")
+	}
+	var d Delta
+	_, payload, err := DecodeFrame(append([]byte(nil), frame...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeDelta(payload, &d); err != nil {
+		t.Fatal(err)
+	}
+
+	sentinel := Decision{Seq: -99, Ratios: []float64{-1}}
+	for name, base := range map[string]*Decision{
+		"nil base":     nil,
+		"warming base": {Seq: 5, Warming: true},
+		"seq mismatch": fullDecision(4, layout),
+		"version gap": func() *Decision {
+			b := fullDecision(5, layout)
+			b.Version++
+			return b
+		}(),
+		"layout mismatch": func() *Decision {
+			b := fullDecision(5, layout)
+			b.Ratios = b.Ratios[:len(b.Ratios)-1]
+			return b
+		}(),
+	} {
+		out := sentinel
+		out.Ratios = append([]float64(nil), sentinel.Ratios...)
+		if err := ApplyDelta(base, &d, layout, &out); !errors.Is(err, ErrDeltaGap) {
+			t.Fatalf("%s: %v, want ErrDeltaGap", name, err)
+		}
+		if out.Seq != sentinel.Seq || out.Ratios[0] != -1 {
+			t.Fatalf("%s: out mutated on error: %+v", name, out)
+		}
+	}
+
+	// Malformed against the layout (pair out of range) is a framing
+	// error, not a gap.
+	bad := d
+	bad.Pairs = append([]DeltaPair(nil), d.Pairs...)
+	bad.Pairs[0].Pair = len(layout)
+	var out Decision
+	if err := ApplyDelta(prev, &bad, layout, &out); !errors.Is(err, ErrFrame) {
+		t.Fatalf("out-of-range pair: %v, want ErrFrame", err)
+	}
+}
+
+// TestDeltaChain applies a chain of deltas, each against the previous
+// reconstruction, as the stream client does with its double buffer.
+func TestDeltaChain(t *testing.T) {
+	layout := bigLayout(40, 3)
+	var e Encoder
+	cur := fullDecision(1, layout)
+	last, spare := &Decision{}, &Decision{}
+	*last = *cur
+	last.Ratios = append([]float64(nil), cur.Ratios...)
+
+	for step := 0; step < 20; step++ {
+		next := fullDecision(cur.Seq+1, layout)
+		copy(next.Ratios, cur.Ratios)
+		pi := (step * 7) % len(layout)
+		next.Ratios[layout[pi][0]] = float64(step+1) / 100
+		next.Ratios[layout[pi][1]] = 1 - float64(step+1)/100
+		next.Ratios[layout[pi][2]] = 0
+
+		frame, ok := e.DecisionDelta(cur, next, layout)
+		if !ok {
+			t.Fatalf("step %d: no delta", step)
+		}
+		var d Delta
+		_, payload, err := DecodeFrame(append([]byte(nil), frame...))
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if err := DecodeDelta(payload, &d); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if err := ApplyDelta(last, &d, layout, spare); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		last, spare = spare, last
+		for i := range next.Ratios {
+			if last.Ratios[i] != next.Ratios[i] {
+				t.Fatalf("step %d ratio %d: %v != %v", step, i, last.Ratios[i], next.Ratios[i])
+			}
+		}
+		cur = next
+	}
+}
