@@ -20,12 +20,34 @@
 // With -bootstrap=false the daemon starts without models: routing serves
 // the uniform fallback until a checkpoint is uploaded.
 //
+// Next to the API listener the daemon runs an ops listener (-opsaddr)
+// with the Prometheus scrape and the probes:
+//
+//	curl :9090/metrics        Prometheus text exposition (figret_* series)
+//	curl :9090/healthz        liveness (200 from boot until shutdown begins)
+//	curl :9090/readyz         readiness (200 once every topology has served
+//	                          a real decision; 503 with the reason before)
+//	go tool pprof :9090/debug/pprof/profile
+//
+// The ops listener is up before bootstrap training starts, so liveness
+// and scrapes work while readiness still reports the warming topologies.
+// Logs are structured (log/slog); -loglevel/-logformat or the
+// FIGRET_LOG_LEVEL/FIGRET_LOG_FORMAT environment variables tune them,
+// and -tracelog emits a debug record per decision-pipeline stage.
+//
+// The daemon exits only through graceful shutdown: SIGINT/SIGTERM stops
+// the listeners, drains every controller (pending sync ingests are
+// answered, not dropped) within -draintimeout, and flushes upgraded wire
+// streams by closing them.
+//
 // With -drive the binary becomes a load generator instead of a daemon:
-// it pipelines demand snapshots over the upgraded binary wire protocol
-// against an already-running served instance and reports sustained
-// decisions/sec, RTT quantiles and the delta-encoding mix:
+// it replays demand snapshots against an already-running served
+// instance — over the pipelined binary wire protocol by default
+// (sustained decisions/sec, RTT quantiles, delta mix), or as a
+// synchronous JSON closed-loop replay with -drivetransport json:
 //
 //	served -topos geant -drive http://127.0.0.1:8080 -driven 20000
+//	served -topos geant -drive http://127.0.0.1:8080 -drivetransport json
 //
 // Startup cost is dominated by candidate-path precomputation (Yen's
 // algorithm over all SD pairs of every served topology). It fans out
@@ -38,23 +60,34 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"figret/internal/baselines"
 	"figret/internal/eval"
 	"figret/internal/experiments"
 	"figret/internal/figret"
+	"figret/internal/obs"
 	"figret/internal/serve"
+	"figret/internal/te"
 )
 
 func main() {
 	var (
 		topos     = flag.String("topos", "pod-db", "comma-separated topologies to serve (geant uscarrier cogentco pfabric pod-db pod-web tor-db tor-web)")
-		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		addr      = flag.String("addr", ":8080", "HTTP listen address of the serving API")
+		opsAddr   = flag.String("opsaddr", ":9090", "ops listen address for /metrics, /healthz, /readyz and /debug/pprof (empty disables)")
 		scale     = flag.String("scale", "fast", "fast|full topology sizing")
 		bootstrap = flag.Bool("bootstrap", true, "train a bootstrap checkpoint per topology at startup")
 		T         = flag.Int("T", 200, "bootstrap trace length")
@@ -67,16 +100,29 @@ func main() {
 		churn     = flag.Float64("churn", 0, "per-interval L1 churn limit (0 = unlimited)")
 		drift     = flag.Bool("drift", true, "enable drift-triggered background retraining")
 
+		logLevel  = flag.String("loglevel", envOr("FIGRET_LOG_LEVEL", "info"), "log level: debug|info|warn|error (env FIGRET_LOG_LEVEL)")
+		logFormat = flag.String("logformat", envOr("FIGRET_LOG_FORMAT", "text"), "log format: text|json (env FIGRET_LOG_FORMAT)")
+		traceLog  = flag.Bool("tracelog", false, "emit a debug log record per decision-pipeline stage (expensive at decision rate; requires -loglevel debug)")
+		drainT    = flag.Duration("draintimeout", 10*time.Second, "graceful-shutdown budget for draining controllers")
+
 		pathCache   = flag.String("pathcache", "", "directory of the on-disk candidate-path cache; a warm cache brings multi-topology daemons up in seconds instead of re-running Yen per process")
 		pathWorkers = flag.Int("pathworkers", 0, "candidate-path precomputation worker pool size (0 = all CPUs); the path set is bitwise identical for any value")
 
 		trainWorkers = flag.Int("trainworkers", 0, "worker pool size for bootstrap and drift retraining (0 = all CPUs); trained weights are bitwise identical for any value")
 
-		drive      = flag.String("drive", "", "load-generator mode: instead of serving, drive the daemon at this base URL (e.g. http://127.0.0.1:8080) over the pipelined binary wire protocol; the first -topos entry names the target topology")
-		driveN     = flag.Int("driven", 0, "load-generator request count (0 = one pass over the topology's trace)")
-		driveAsync = flag.Bool("driveasync", false, "load-generate asynchronous ingests (acks) instead of per-request decisions")
+		drive          = flag.String("drive", "", "load-generator mode: instead of serving, drive the daemon at this base URL (e.g. http://127.0.0.1:8080); the first -topos entry names the target topology")
+		driveN         = flag.Int("driven", 0, "load-generator request count (0 = one pass over the topology's trace)")
+		driveAsync     = flag.Bool("driveasync", false, "load-generate asynchronous ingests (acks) instead of per-request decisions (wire transport only)")
+		driveTransport = flag.String("drivetransport", "wire", "drive-mode transport: wire (pipelined binary stream) or json (synchronous closed-loop HTTP replay)")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "served:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	sc := experiments.ScaleFast
 	if *scale == "full" {
@@ -85,36 +131,165 @@ func main() {
 
 	if *drive != "" {
 		topo := strings.TrimSpace(strings.Split(*topos, ",")[0])
-		if err := runDrive(*drive, topo, sc, *T, *seed, *driveN, *driveAsync, *pathCache, *pathWorkers); err != nil {
-			log.Fatalf("served: drive: %v", err)
+		if err := runDrive(logger, *drive, topo, *driveTransport, sc, *T, *seed, *driveN, *driveAsync, *pathCache, *pathWorkers); err != nil {
+			logger.Error("drive failed", "topology", topo, "err", err)
+			os.Exit(1)
 		}
 		return
 	}
 
+	expected := splitTopos(*topos)
+	if len(expected) == 0 {
+		logger.Error("no topologies to serve", "topos", *topos)
+		os.Exit(2)
+	}
+
+	// Observability comes up first: the ops listener answers liveness and
+	// scrapes while bootstrap training still runs, and readiness reports
+	// which topology it is waiting for.
+	metrics := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(metrics)
+	tel := serve.NewTelemetry(metrics)
+	if *traceLog {
+		tel.LogSpans(logger)
+	}
+
 	reg := serve.NewRegistry()
 	srv := serve.NewServer(reg)
-	for _, topo := range strings.Split(*topos, ",") {
-		topo = strings.TrimSpace(topo)
-		if topo == "" {
-			continue
+	srv.UseTelemetry(tel)
+
+	var draining atomic.Bool
+	ops := &obs.Ops{
+		Metrics: metrics,
+		Logger:  logger,
+		Healthz: func() error {
+			if draining.Load() {
+				return errors.New("shutting down")
+			}
+			return nil
+		},
+		Readyz: func() error {
+			if draining.Load() {
+				return errors.New("shutting down")
+			}
+			return srv.Ready(expected...)
+		},
+	}
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsSrv = startListener(logger, "ops", *opsAddr, ops.Handler())
+	}
+
+	if *pathCache != "" {
+		tel.RegisterCacheStats("paths", "", te.PathCacheStats)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	for _, topo := range expected {
+		if err := addTopology(logger, tel, srv, reg, topo, sc, *bootstrap, *T, *H, *gamma, *epochs, *batch, *seed, *history, *churn, *drift, *pathCache, *pathWorkers, *trainWorkers); err != nil {
+			logger.Error("topology bootstrap failed", "topology", topo, "err", err)
+			os.Exit(1)
 		}
-		if err := addTopology(srv, reg, topo, sc, *bootstrap, *T, *H, *gamma, *epochs, *batch, *seed, *history, *churn, *drift, *pathCache, *pathWorkers, *trainWorkers); err != nil {
-			log.Fatalf("served: %s: %v", topo, err)
+		if ctx.Err() != nil {
+			break // signalled mid-bootstrap: skip straight to the drain
 		}
 	}
 
-	log.Printf("served: listening on %s (topologies: %s)", *addr, *topos)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		log.Fatalf("served: %v", err)
+	apiSrv := startListener(logger, "api", *addr, srv.Handler())
+	logger.Info("serving", "addr", *addr, "ops", *opsAddr, "topologies", expected)
+
+	// The only exit path: wait for the signal, then drain gracefully —
+	// probes flip first (load balancers stop routing), listeners stop
+	// accepting, wire streams flush and close, controllers answer their
+	// queued sync ingests.
+	<-ctx.Done()
+	stop()
+	draining.Store(true)
+	logger.Info("shutdown requested, draining", "timeout", *drainT)
+
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := apiSrv.Shutdown(shCtx); err != nil {
+		logger.Warn("api listener shutdown", "err", err)
 	}
+	if err := srv.Shutdown(shCtx); err != nil {
+		logger.Warn("controller drain incomplete", "err", err)
+	}
+	if opsSrv != nil {
+		// Last: the metrics page stays scrapeable through the drain.
+		if err := opsSrv.Shutdown(shCtx); err != nil {
+			logger.Warn("ops listener shutdown", "err", err)
+		}
+	}
+	logger.Info("shutdown complete")
 }
 
-// runDrive is the load-generator mode: it rebuilds the topology's
-// environment (path set + synthetic trace, no training), dials the
-// running daemon's binary stream and pipelines demand snapshots at the
-// adaptive window's sustainable rate, reporting throughput, RTT
-// quantiles and the delta-encoding mix.
-func runDrive(baseURL, topo string, sc experiments.Scale, T int, seed int64, n int, async bool,
+// envOr returns the environment value when set, else def.
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+func splitTopos(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// newLogger builds the process logger from level/format names.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad log level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("bad log format %q (want text or json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// startListener binds addr synchronously (so a taken port fails fast,
+// before bootstrap) and serves h in the background.
+func startListener(logger *slog.Logger, name, addr string, h http.Handler) *http.Server {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		logger.Error("listen failed", "listener", name, "addr", addr, "err", err)
+		os.Exit(1)
+	}
+	s := &http.Server{Addr: addr, Handler: h}
+	go func() {
+		if err := s.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("listener failed", "listener", name, "addr", addr, "err", err)
+			os.Exit(1)
+		}
+	}()
+	logger.Info("listening", "listener", name, "addr", ln.Addr().String())
+	return s
+}
+
+// runDrive is the load-generator mode. The wire transport rebuilds the
+// topology's environment (path set + synthetic trace, no training),
+// dials the running daemon's binary stream and pipelines demand
+// snapshots at the adaptive window's sustainable rate; the json
+// transport runs the synchronous closed-loop Replay over plain HTTP.
+// Both log how many decisions the daemon actually served, which the e2e
+// smoke gate asserts on.
+func runDrive(logger *slog.Logger, baseURL, topo, transport string, sc experiments.Scale, T int, seed int64, n int, async bool,
 	pathCache string, pathWorkers int) error {
 	env, err := experiments.NewEnv(topo, sc, experiments.EnvOptions{
 		T: T, Seed: seed, PathCache: pathCache, PathWorkers: pathWorkers,
@@ -122,21 +297,37 @@ func runDrive(baseURL, topo string, sc experiments.Scale, T int, seed int64, n i
 	if err != nil {
 		return err
 	}
-	res, err := serve.LoadGen(baseURL, topo, env.PS, env.Test, serve.LoadOptions{Requests: n, Async: async})
-	if err != nil {
-		return err
+	switch transport {
+	case "json":
+		res, err := serve.Replay(serve.NewClient(baseURL), topo, env.PS, env.Test, serve.ReplayOptions{})
+		if err != nil {
+			return err
+		}
+		logger.Info("drive replay done", "transport", "json", "topology", topo,
+			"decisions", len(res.Decisions), "mean_mlu", res.MeanMLU, "versions", res.Versions)
+		return nil
+	case "wire":
+		res, err := serve.LoadGen(baseURL, topo, env.PS, env.Test, serve.LoadOptions{Requests: n, Async: async})
+		if err != nil {
+			return err
+		}
+		s := &res.Stream
+		logger.Info("drive done", "transport", "wire", "topology", topo,
+			"requests", s.Requests, "elapsed", s.Elapsed.Round(time.Millisecond),
+			"decisions_per_sec", int(res.DecisionsPerSec), "requests_per_sec", int(res.RequestsPerSec))
+		logger.Info("drive rtt", "mean_us", int(s.MeanRTTMicros), "p50_us", int(s.P50RTTMicros),
+			"p99_us", int(s.P99RTTMicros), "window_min", s.MinWindow, "window_max", s.MaxWindow,
+			"window_final", s.FinalWindow, "backoffs", s.CongestionEvents)
+		logger.Info("drive transfer", "deltas", res.Bin.Deltas, "fulls", res.Bin.Fulls,
+			"resyncs", res.Bin.Resyncs, "redials", res.Bin.Redials,
+			"bytes_sent", s.BytesSent, "bytes_received", s.BytesReceived)
+		return nil
+	default:
+		return fmt.Errorf("unknown drive transport %q (want wire or json)", transport)
 	}
-	s := &res.Stream
-	log.Printf("drive: %s: %d requests in %s: %.0f decisions/s (%.0f requests/s)",
-		topo, s.Requests, s.Elapsed.Round(time.Millisecond), res.DecisionsPerSec, res.RequestsPerSec)
-	log.Printf("drive: rtt mean %.0fµs p50 %.0fµs p99 %.0fµs; window %d..%d (final %d, %d backoffs)",
-		s.MeanRTTMicros, s.P50RTTMicros, s.P99RTTMicros, s.MinWindow, s.MaxWindow, s.FinalWindow, s.CongestionEvents)
-	log.Printf("drive: %d delta / %d full decisions, %d resyncs, %d redials; %d B sent, %d B received",
-		res.Bin.Deltas, res.Bin.Fulls, res.Bin.Resyncs, res.Bin.Redials, s.BytesSent, s.BytesReceived)
-	return nil
 }
 
-func addTopology(srv *serve.Server, reg *serve.Registry, topo string, sc experiments.Scale,
+func addTopology(logger *slog.Logger, tel *serve.Telemetry, srv *serve.Server, reg *serve.Registry, topo string, sc experiments.Scale,
 	bootstrap bool, T, H int, gamma float64, epochs, batch int, seed int64,
 	history int, churn float64, drift bool, pathCache string, pathWorkers, trainWorkers int) error {
 	env, err := experiments.NewEnv(topo, sc, experiments.EnvOptions{
@@ -153,8 +344,10 @@ func addTopology(srv *serve.Server, reg *serve.Registry, topo string, sc experim
 		// Shadow evaluations normalize against the environment's memoized
 		// omniscient oracle; solves run in the background and are shared
 		// across retrains.
+		oracle := eval.NewOracle(env.PS, baselines.AutoSolve(env.PS), nil)
+		tel.RegisterCacheStats("oracle", topo, oracle.Stats)
 		opt.Drift = &serve.DriftOptions{
-			Oracle:       eval.NewOracle(env.PS, baselines.AutoSolve(env.PS), nil),
+			Oracle:       oracle,
 			TrainWorkers: trainWorkers,
 		}
 	}
@@ -162,7 +355,7 @@ func addTopology(srv *serve.Server, reg *serve.Registry, topo string, sc experim
 		return err
 	}
 	if !bootstrap {
-		log.Printf("served: %s ready (no checkpoint; uniform fallback until upload)", topo)
+		logger.Info("topology ready", "topology", topo, "checkpoint", "none (uniform fallback until upload)")
 		return nil
 	}
 	m := figret.New(env.PS, figret.Config{
@@ -177,7 +370,8 @@ func addTopology(srv *serve.Server, reg *serve.Registry, topo string, sc experim
 	if err != nil {
 		return err
 	}
-	log.Printf("served: %s ready (checkpoint v%d, %d params, train MLU %.4f -> %.4f)",
-		topo, ck.Version, m.Net.NumParams(), stats.EpochMLU[0], stats.EpochMLU[len(stats.EpochMLU)-1])
+	logger.Info("topology ready", "topology", topo, "version", ck.Version,
+		"params", m.Net.NumParams(),
+		"train_mlu_first", stats.EpochMLU[0], "train_mlu_last", stats.EpochMLU[len(stats.EpochMLU)-1])
 	return nil
 }

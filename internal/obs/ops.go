@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Ops is the operational HTTP surface of a daemon, served on its own
+// listener so scrapes and probes never contend with the data plane:
+//
+//	GET /metrics      Prometheus text exposition of Metrics
+//	GET /healthz      liveness: 200 once the process serves, 503 after
+//	                  shutdown begins (Healthz hook)
+//	GET /readyz       readiness: 200 when Readyz returns nil, 503 with
+//	                  the error text otherwise
+//	GET /debug/pprof  the standard Go profiling endpoints
+//
+// Probe handlers answer from in-process state only — a probe can never
+// be slowed by a busy data plane or a slow disk.
+type Ops struct {
+	// Metrics is the registry /metrics exports. Nil serves an empty page.
+	Metrics *Registry
+	// Healthz, when non-nil, gates liveness; return an error to fail the
+	// probe (e.g. once draining has begun). Nil is always live.
+	Healthz func() error
+	// Readyz, when non-nil, gates readiness; the error text is the probe
+	// body, so `kubectl describe`-style tooling shows why. Nil is always
+	// ready.
+	Readyz func() error
+	// Logger, when non-nil, logs each probe state transition.
+	Logger *slog.Logger
+}
+
+// Handler returns the ops mux.
+func (o *Ops) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", o.handleMetrics)
+	mux.HandleFunc("GET /healthz", probe("healthz", o.Healthz))
+	mux.HandleFunc("GET /readyz", probe("readyz", o.Readyz))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (o *Ops) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if o.Metrics != nil {
+		if err := o.Metrics.WritePrometheus(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", TextContentType)
+	w.Write(buf.Bytes())
+}
+
+func probe(name string, check func() error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if check != nil {
+			if err := check(); err != nil {
+				http.Error(w, name+": "+err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Write([]byte("ok\n"))
+	}
+}
+
+// RegisterRuntimeMetrics adds process-level gauges (goroutines, heap,
+// GC, uptime) to r. Values are read at scrape time.
+func RegisterRuntimeMetrics(r *Registry) {
+	start := time.Now()
+	r.GaugeFunc("figret_process_uptime_seconds",
+		"Seconds since the process registered its runtime metrics.",
+		func() float64 { return time.Since(start).Seconds() })
+	r.GaugeFunc("go_goroutines",
+		"Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	r.GaugeFunc("go_memstats_gc_cycles",
+		"Completed GC cycles.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the exposition golden file")
+
+// goldenRegistry builds a deterministic registry shaped like the served
+// daemon's: counters, gauges, scrape-time functions, a histogram and a
+// stage tracer, with fixed values so the exposition page is stable.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	for topo, n := range map[string]uint64{"geant": 42, "pod-db": 7} {
+		r.Counter("figret_serve_decisions_total",
+			"Routing decisions published.", L("topology", topo)).Add(n)
+		r.Counter("figret_serve_snapshots_total",
+			"Demand snapshots ingested.", L("topology", topo)).Add(n + 3)
+	}
+	r.Counter("figret_wire_resyncs_total", "Full-decision resyncs served.").Add(2)
+	r.Gauge("figret_wire_connections_active", "Upgraded wire streams currently open.").Set(3)
+	r.GaugeFunc("figret_oracle_cache_hit_ratio",
+		"Oracle solve cache hit ratio.", func() float64 { return 0.9375 })
+	r.CounterFunc("figret_paths_cache_hits_total",
+		"PathStore cache hits.", func() float64 { return 12 })
+
+	h := r.Histogram("figret_serve_decision_duration_seconds",
+		"Decision latency.", []float64{0.0001, 0.001, 0.01}, L("topology", "geant"))
+	h.Observe(0.00005)
+	h.Observe(0.0001)
+	h.Observe(0.002)
+	h.Observe(3)
+
+	// An instrumented-but-idle histogram must still export its zeroed
+	// bucket scaffold (so dashboards exist before traffic does).
+	r.Histogram("figret_serve_transport_duration_seconds",
+		"Ingest-to-response latency per transport.", []float64{0.001, 0.01}, L("transport", "wire"))
+	return r
+}
+
+// TestPrometheusExpositionGolden pins the full /metrics page byte for
+// byte: family ordering, HELP/TYPE lines, label rendering, cumulative
+// histogram buckets, _sum/_count. Run with -update to rebless.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	ops := &Ops{Metrics: goldenRegistry()}
+	srv := httptest.NewServer(ops.Handler())
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("GET /metrics = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != TextContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, TextContentType)
+	}
+	got := make([]byte, 0, 4096)
+	buf := make([]byte, 4096)
+	for {
+		n, err := res.Body.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+
+	goldenPath := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/obs -run Golden -update` to bless): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("exposition page diverged from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// A second scrape of unchanged state must be byte-identical — stable
+	// ordering is load-bearing for the golden contract.
+	res2, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	got2 := make([]byte, 0, len(got))
+	for {
+		n, err := res2.Body.Read(buf)
+		got2 = append(got2, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if string(got2) != string(got) {
+		t.Fatal("two scrapes of unchanged state differ")
+	}
+}
+
+func TestOpsProbes(t *testing.T) {
+	ready := false
+	ops := &Ops{
+		Readyz: func() error {
+			if !ready {
+				return errTest("warming")
+			}
+			return nil
+		},
+	}
+	srv := httptest.NewServer(ops.Handler())
+	defer srv.Close()
+
+	if code := probeCode(t, srv.URL+"/healthz"); code != 200 {
+		t.Fatalf("healthz = %d, want 200", code)
+	}
+	if code := probeCode(t, srv.URL+"/readyz"); code != 503 {
+		t.Fatalf("readyz before ready = %d, want 503", code)
+	}
+	ready = true
+	if code := probeCode(t, srv.URL+"/readyz"); code != 200 {
+		t.Fatalf("readyz after ready = %d, want 200", code)
+	}
+	if code := probeCode(t, srv.URL+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof cmdline = %d, want 200", code)
+	}
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func probeCode(t *testing.T, url string) int {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	return res.StatusCode
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer assigns monotonic span IDs and records per-stage latencies into
+// one histogram per stage (same metric name, a "stage" label per stage).
+// A span is threaded through a pipeline by value — ingest → window
+// assembly → predict → reroute → publish in the serving daemon — and
+// each Mark records the time since the previous mark into that stage's
+// histogram. With a logger attached, every mark additionally emits a
+// structured trace line (span id, stage, duration), turning the
+// histograms' aggregate view into a per-decision log when needed.
+//
+// A nil *Tracer is fully inert: Start returns the zero Span, whose Mark
+// is a single branch — tracing that is compiled in but switched off
+// costs nothing measurable on the decision path.
+type Tracer struct {
+	ids    atomic.Uint64
+	stages []*Histogram
+	names  []string
+	logger *slog.Logger
+	attrs  []slog.Attr
+}
+
+// NewTracer builds a tracer whose stage latencies land in the histogram
+// family `metric` with a "stage" label per stage name, plus any extra
+// labels (e.g. the topology).
+func NewTracer(r *Registry, metric, help string, stages []string, bounds []float64, labels ...Label) *Tracer {
+	t := &Tracer{
+		stages: make([]*Histogram, len(stages)),
+		names:  append([]string(nil), stages...),
+	}
+	for i, st := range stages {
+		ls := append(append([]Label(nil), labels...), L("stage", st))
+		t.stages[i] = r.Histogram(metric, help, bounds, ls...)
+	}
+	for _, l := range labels {
+		t.attrs = append(t.attrs, slog.String(l.Name, l.Value))
+	}
+	return t
+}
+
+// LogSpans attaches a structured trace log: every Mark emits one
+// Debug-level record. Pass nil to detach.
+func (t *Tracer) LogSpans(l *slog.Logger) {
+	if t != nil {
+		t.logger = l
+	}
+}
+
+// Span is one traced unit of work. The zero Span (from a nil tracer) is
+// inert.
+type Span struct {
+	tr   *Tracer
+	id   uint64
+	last time.Time
+}
+
+// Start opens a span with a fresh monotonic ID, clocked from now.
+func (t *Tracer) Start() Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, id: t.ids.Add(1), last: time.Now()}
+}
+
+// ID returns the span's monotonic ID (0 for an inert span).
+func (s *Span) ID() uint64 { return s.id }
+
+// Mark closes one stage: the time since the span's previous mark (or
+// Start) is recorded into the stage's histogram, and the clock advances.
+// Stages may be skipped or repeated; each Mark stands alone.
+func (s *Span) Mark(stage int) {
+	t := s.tr
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	d := now.Sub(s.last)
+	s.last = now
+	t.stages[stage].Observe(d.Seconds())
+	if l := t.logger; l != nil {
+		attrs := make([]slog.Attr, 0, len(t.attrs)+3)
+		attrs = append(attrs, slog.Uint64("span", s.id), slog.String("stage", t.names[stage]),
+			slog.Duration("took", d))
+		attrs = append(attrs, t.attrs...)
+		l.LogAttrs(context.Background(), slog.LevelDebug, "span", attrs...)
+	}
+}

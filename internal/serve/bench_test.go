@@ -7,6 +7,7 @@ import (
 
 	"figret/internal/figret"
 	"figret/internal/graph"
+	"figret/internal/obs"
 	"figret/internal/te"
 	"figret/internal/traffic"
 )
@@ -100,6 +101,11 @@ func BenchmarkServeDecision(b *testing.B) {
 // Each reports decisions/s; cmd/benchjson carries the metric into
 // BENCH_scenarios.json. The model is deliberately small so transport
 // cost, not inference, dominates — the quantity under test.
+//
+// The "-telemetry" variants run the identical workload with the full
+// obs instrument set attached (counters, histograms, stage tracer),
+// so the observability overhead is a recorded delta per commit — the
+// tentpole's <=5% budget is checkable from the artifact.
 func BenchmarkServeThroughput(b *testing.B) {
 	const h = 4
 	g := graph.GEANT()
@@ -115,30 +121,36 @@ func BenchmarkServeThroughput(b *testing.B) {
 	if _, err := m.Train(tr); err != nil {
 		b.Fatal(err)
 	}
-	reg := NewRegistry()
-	if err := reg.AddTopology("geant", ps); err != nil {
-		b.Fatal(err)
-	}
-	if _, err := reg.Install("geant", m, "bench"); err != nil {
-		b.Fatal(err)
-	}
-	srv := NewServer(reg)
-	if _, err := srv.Add("geant", ControllerOptions{HistoryCap: 16}); err != nil {
-		b.Fatal(err)
-	}
-	hs := httptest.NewServer(srv.Handler())
-	defer func() {
-		hs.Close()
-		srv.Close()
-	}()
 
-	// Warm past the model's history window so every measured request
-	// yields a real decision.
-	warmup := NewClient(hs.URL)
-	for i := 0; i < 2*h; i++ {
-		if _, err := warmup.PostSnapshot("geant", tr.At(i)); err != nil {
+	// startSrv builds a fresh server (optionally instrumented) and warms
+	// it past the model's history window so every measured request yields
+	// a real decision.
+	startSrv := func(b *testing.B, tel *Telemetry) *httptest.Server {
+		b.Helper()
+		reg := NewRegistry()
+		if err := reg.AddTopology("geant", ps); err != nil {
 			b.Fatal(err)
 		}
+		if _, err := reg.Install("geant", m, "bench"); err != nil {
+			b.Fatal(err)
+		}
+		srv := NewServer(reg)
+		srv.UseTelemetry(tel)
+		if _, err := srv.Add("geant", ControllerOptions{HistoryCap: 16}); err != nil {
+			b.Fatal(err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		b.Cleanup(func() {
+			hs.Close()
+			srv.Close()
+		})
+		warmup := NewClient(hs.URL)
+		for i := 0; i < 2*h; i++ {
+			if _, err := warmup.PostSnapshot("geant", tr.At(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return hs
 	}
 
 	runHTTP := func(b *testing.B, client *Client) {
@@ -156,22 +168,15 @@ func BenchmarkServeThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "decisions/s")
 	}
-
-	b.Run("json", func(b *testing.B) { runHTTP(b, NewClient(hs.URL)) })
-	b.Run("binhttp", func(b *testing.B) {
-		c := NewClient(hs.URL)
-		c.Binary = true
-		runHTTP(b, c)
-	})
-	b.Run("wire", func(b *testing.B) {
-		bin, err := DialBin(hs.URL, "geant", ps, BinClientOptions{})
+	runWire := func(b *testing.B, hs *httptest.Server, bin BinClientOptions) {
+		client, err := DialBin(hs.URL, "geant", ps, bin)
 		if err != nil {
 			b.Fatal(err)
 		}
-		defer bin.Close()
+		defer client.Close()
 		b.ReportAllocs()
 		b.ResetTimer()
-		stats, err := bin.Stream(b.N, func(i int) []float64 { return tr.At(i % tr.Len()) }, nil)
+		stats, err := client.Stream(b.N, func(i int) []float64 { return tr.At(i % tr.Len()) }, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -179,5 +184,21 @@ func BenchmarkServeThroughput(b *testing.B) {
 			b.Fatalf("streamed %d decisions, want %d", stats.Decisions, b.N)
 		}
 		b.ReportMetric(float64(stats.Decisions)/stats.Elapsed.Seconds(), "decisions/s")
+	}
+
+	b.Run("json", func(b *testing.B) { runHTTP(b, NewClient(startSrv(b, nil).URL)) })
+	b.Run("json-telemetry", func(b *testing.B) {
+		tel := NewTelemetry(obs.NewRegistry())
+		runHTTP(b, NewClient(startSrv(b, tel).URL))
+	})
+	b.Run("binhttp", func(b *testing.B) {
+		c := NewClient(startSrv(b, nil).URL)
+		c.Binary = true
+		runHTTP(b, c)
+	})
+	b.Run("wire", func(b *testing.B) { runWire(b, startSrv(b, nil), BinClientOptions{}) })
+	b.Run("wire-telemetry", func(b *testing.B) {
+		tel := NewTelemetry(obs.NewRegistry())
+		runWire(b, startSrv(b, tel), BinClientOptions{Telemetry: tel.Stream("geant")})
 	})
 }

@@ -35,6 +35,10 @@ type BinClientOptions struct {
 	RedialBackoff time.Duration
 	// ReadTimeout bounds one blocking response read (default 30s).
 	ReadTimeout time.Duration
+	// Telemetry, when non-nil, exports the stream's adaptive state
+	// (window, RTT estimator, congestion/redial/resync counters, the
+	// delta-vs-full mix) through the obs registry. Purely observational.
+	Telemetry *StreamTelemetry
 }
 
 func (o BinClientOptions) withDefaults() BinClientOptions {
@@ -73,6 +77,7 @@ type BinClient struct {
 	topo     string
 	ps       *te.PathSet
 	opt      BinClientOptions
+	tel      *StreamTelemetry
 
 	conn net.Conn
 	br   *bufio.Reader
@@ -122,6 +127,7 @@ func DialBin(baseURL, topo string, ps *te.PathSet, opt BinClientOptions) (*BinCl
 		topo:     topo,
 		ps:       ps,
 		opt:      opt.withDefaults(),
+		tel:      opt.Telemetry,
 		last:     &wire.Decision{},
 		spare:    &wire.Decision{},
 	}
@@ -234,6 +240,7 @@ func (c *BinClient) redial() error {
 		}
 		if err = c.dial(); err == nil {
 			c.redials++
+			c.tel.onRedial()
 			return nil
 		}
 	}
@@ -283,6 +290,7 @@ func (c *BinClient) readReply(deadline time.Time, resync bool) (*wire.Decision, 
 			return nil, err
 		}
 		c.fulls++
+		c.tel.onDecision(false)
 		if c.spare.Warming {
 			// Warming carries no ratios; the delta base stays put.
 			return c.spare, nil
@@ -305,6 +313,7 @@ func (c *BinClient) readReply(deadline time.Time, resync bool) (*wire.Decision, 
 			return nil, err
 		}
 		c.deltas++
+		c.tel.onDecision(true)
 		c.last, c.spare = c.spare, c.last
 		return c.last, nil
 	default:
@@ -316,6 +325,7 @@ func (c *BinClient) readReply(deadline time.Time, resync bool) (*wire.Decision, 
 // adopt it as the new base.
 func (c *BinClient) resyncFull(deadline time.Time) (*wire.Decision, error) {
 	c.resyncs++
+	c.tel.onResync()
 	if _, err := c.bw.Write(c.enc.Resync()); err != nil {
 		return nil, err
 	}
@@ -334,6 +344,7 @@ func (c *BinClient) resyncFull(deadline time.Time) (*wire.Decision, error) {
 		return nil, err
 	}
 	c.fulls++
+	c.tel.onDecision(false)
 	if !c.spare.Warming {
 		c.last, c.spare = c.spare, c.last
 		c.haveLast = true
@@ -519,9 +530,11 @@ func (c *BinClient) stream(n int, demand func(i int) []float64, onDecision func(
 				win.onCongestion(now)
 				lastCong = now
 				stats.CongestionEvents++
+				c.tel.onCongestion()
 			} else {
 				win.onAck(now)
 			}
+			c.tel.observeRTT(sample, &est, win.size())
 			if w := win.size(); w < stats.MinWindow {
 				stats.MinWindow = w
 			} else if w > stats.MaxWindow {

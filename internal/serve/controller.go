@@ -9,6 +9,7 @@ import (
 
 	"figret/internal/eval"
 	"figret/internal/figret"
+	"figret/internal/obs"
 	"figret/internal/te"
 	"figret/internal/traffic"
 )
@@ -125,6 +126,11 @@ type ControllerOptions struct {
 	MaxChurn float64
 	// Drift enables drift-triggered background retraining when non-nil.
 	Drift *DriftOptions
+	// Telemetry, when non-nil, exports this controller's counters, stage
+	// spans and latency histograms through the obs registry. Telemetry
+	// observes decisions; it never alters them — replays with and
+	// without it are bitwise identical.
+	Telemetry *Telemetry
 }
 
 func (o ControllerOptions) withDefaults() ControllerOptions {
@@ -142,6 +148,10 @@ type ctrlMsg struct {
 	// links is set for failure reports (empty slice clears failures).
 	links   [][2]int
 	failure bool
+	// span traces the snapshot through the decision pipeline (inert when
+	// telemetry is off). It opens at enqueue, so its first stage is the
+	// queue wait.
+	span obs.Span
 	// reply, when non-nil, receives the result once the message is fully
 	// processed (sync ingest / failure report).
 	reply chan ingestReply
@@ -170,6 +180,7 @@ type Controller struct {
 	done     chan struct{}
 	decided  atomic.Pointer[Decision]
 	metrics  *metricsRecorder
+	tel      *topoTelemetry
 
 	// Goroutine-owned state below (never touched outside run).
 	history    *traffic.Trace
@@ -210,6 +221,7 @@ func NewController(topo string, reg *Registry, opt ControllerOptions) (*Controll
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 		metrics: newMetricsRecorder(),
+		tel:     opt.Telemetry.topo(topo),
 		history: traffic.NewTrace(ps.Pairs.N()),
 	}
 	// Bootstrap fallback: routing reads always answer, even before the
@@ -231,6 +243,13 @@ func (c *Controller) Decision() *Decision { return c.decided.Load() }
 // Metrics returns a snapshot of the serving counters.
 func (c *Controller) Metrics() Metrics { return c.metrics.snapshot() }
 
+// Ready reports whether this controller has published at least one real
+// decision (model inference or failure republish — not the bootstrap
+// fallback). This is the per-topology readiness condition of the
+// daemon's /readyz probe, read from an atomic counter so probes never
+// touch the controller goroutine.
+func (c *Controller) Ready() bool { return c.metrics.decisions.Load() > 0 }
+
 // Close stops the controller goroutine. Pending sync requests are
 // answered with an error. Safe to call multiple times, concurrently.
 func (c *Controller) Close() {
@@ -249,7 +268,7 @@ func (c *Controller) Ingest(demand []float64, wait bool) (*IngestResult, error) 
 	if len(demand) != c.ps.Pairs.Count() {
 		return nil, fmt.Errorf("serve: %s snapshot has %d entries, want %d", c.topo, len(demand), c.ps.Pairs.Count())
 	}
-	msg := ctrlMsg{demand: append([]float64(nil), demand...)}
+	msg := ctrlMsg{demand: append([]float64(nil), demand...), span: c.tel.span()}
 	if wait {
 		msg.reply = make(chan ingestReply, 1)
 	}
@@ -352,6 +371,7 @@ func (c *Controller) drainOnStop() {
 // drift detector and — for sync ingests or the newest snapshot of a
 // batch — computes and publishes a fresh decision.
 func (c *Controller) handleSnapshot(m ctrlMsg, last bool) {
+	m.span.Mark(stageIngest) // queue wait: enqueue → pickup
 	idx := c.nSnapshots
 	c.nSnapshots++
 	// m.demand is already controller-owned (Ingest copied it), so it
@@ -361,18 +381,24 @@ func (c *Controller) handleSnapshot(m ctrlMsg, last bool) {
 		c.history.Snapshots = c.history.Snapshots[over:]
 	}
 	c.observeDrift(m.demand)
+	m.span.Mark(stageWindow)
 
 	sync := m.reply != nil
 	if !sync && !last {
 		c.metrics.ingest(true)
+		c.tel.ingest(true)
 		return
 	}
 	c.metrics.ingest(false)
-	dec, warming, err := c.decide(idx)
+	c.tel.ingest(false)
+	dec, warming, err := c.decide(idx, &m.span)
 	if err != nil {
 		// Async ingesters never see per-request errors; a standing
 		// misconfiguration surfaces through the metrics endpoint.
 		c.metrics.configError(err.Error())
+	}
+	if warming {
+		c.tel.warm()
 	}
 	if sync {
 		m.reply <- ingestReply{res: &IngestResult{Snapshot: idx, Decision: dec, Warming: warming}, err: err}
@@ -385,7 +411,7 @@ func (c *Controller) handleSnapshot(m ctrlMsg, last bool) {
 // enough history for its window yet — and an error when the controller
 // can never leave warming because the history cap is below the model's
 // window.
-func (c *Controller) decide(snapshot int64) (*Decision, bool, error) {
+func (c *Controller) decide(snapshot int64, span *obs.Span) (*Decision, bool, error) {
 	start := time.Now()
 	ck := c.reg.Active(c.topo)
 	if ck == nil {
@@ -406,6 +432,7 @@ func (c *Controller) decide(snapshot int64) (*Decision, bool, error) {
 		// decision.
 		return nil, true, nil
 	}
+	span.Mark(stagePredict)
 	dec := &Decision{
 		Snapshot: snapshot,
 		Version:  ck.Version,
@@ -424,9 +451,12 @@ func (c *Controller) decide(snapshot int64) (*Decision, bool, error) {
 		dec.Config = te.Reroute(dec.Config, c.failures)
 		dec.Rerouted = true
 	}
+	span.Mark(stageReroute)
 	c.publish(dec)
 	c.metrics.decision(time.Since(start))
 	c.metrics.configError("") // a model decision proves the config serves
+	span.Mark(stagePublish)
+	c.tel.decision(dec, time.Since(start))
 	return dec, false, nil
 }
 
@@ -456,6 +486,7 @@ func (c *Controller) handleFailures(m ctrlMsg) {
 	}
 	c.publish(dec)
 	c.metrics.decision(time.Since(start))
+	c.tel.decision(dec, time.Since(start))
 	m.reply <- ingestReply{}
 }
 
@@ -564,6 +595,7 @@ func (c *Controller) retrain(hist *traffic.Trace, incumbent *Checkpoint) {
 	}
 	if candScore > incScore*(1+opt.Tolerance) {
 		c.metrics.retrain(false)
+		c.tel.retrain("rejected")
 		c.retctl <- struct{}{}
 		return
 	}
@@ -575,11 +607,13 @@ func (c *Controller) retrain(hist *traffic.Trace, incumbent *Checkpoint) {
 		return
 	}
 	c.metrics.retrain(true)
+	c.tel.retrain("accepted")
 	c.retctl <- struct{}{}
 }
 
 func (c *Controller) retrainFailed(err error) {
 	c.metrics.retrainFailed(err)
+	c.tel.retrain("failed")
 	c.retctl <- struct{}{}
 }
 

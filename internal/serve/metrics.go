@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -47,20 +48,28 @@ type Metrics struct {
 }
 
 // metricsRecorder collects one controller's counters. All methods are
-// safe for concurrent use.
+// safe for concurrent use, and the hot-path writers (ingest, decision)
+// are lock-free: a metrics scrape in flight can never stall the decision
+// path, and the decision path can never tear a scrape. The latency ring
+// holds each sample in its own atomic slot, so a snapshot reads every
+// slot individually valid even while decisions land concurrently — the
+// scrape's view is each-sample-consistent rather than
+// whole-ring-consistent, which is exactly what quantiles over recent
+// samples need.
 type metricsRecorder struct {
+	start     time.Time
+	snapshots atomic.Uint64
+	coalesced atomic.Uint64
+	decisions atomic.Uint64
+	ring      [latencyRingSize]atomic.Int64 // latency nanos; slot i holds decision (k*ring+i)
+
+	// Retrain bookkeeping and the config-error string are cold paths
+	// (background retrains, misconfigurations); they stay under a mutex.
 	mu          sync.Mutex
-	start       time.Time
-	snapshots   uint64
-	decisions   uint64
-	coalesced   uint64
 	retrains    uint64
 	rejected    uint64
 	failed      uint64
 	lastRetrain string
-	ring        [latencyRingSize]time.Duration
-	ringN       int // filled entries
-	ringIdx     int // next write position
 	configErr   string
 }
 
@@ -69,23 +78,15 @@ func newMetricsRecorder() *metricsRecorder {
 }
 
 func (m *metricsRecorder) ingest(coalesced bool) {
-	m.mu.Lock()
-	m.snapshots++
+	m.snapshots.Add(1)
 	if coalesced {
-		m.coalesced++
+		m.coalesced.Add(1)
 	}
-	m.mu.Unlock()
 }
 
 func (m *metricsRecorder) decision(latency time.Duration) {
-	m.mu.Lock()
-	m.decisions++
-	m.ring[m.ringIdx] = latency
-	m.ringIdx = (m.ringIdx + 1) % latencyRingSize
-	if m.ringN < latencyRingSize {
-		m.ringN++
-	}
-	m.mu.Unlock()
+	n := m.decisions.Add(1)
+	m.ring[(n-1)%latencyRingSize].Store(int64(latency))
 }
 
 // configError records (or, with "", clears) the standing
@@ -115,26 +116,34 @@ func (m *metricsRecorder) retrainFailed(err error) {
 	m.mu.Unlock()
 }
 
-// snapshot returns a consistent copy of the counters with quantiles
-// computed over the latency ring.
+// snapshot returns a copy of the counters with quantiles computed over
+// the latency ring. It never blocks a concurrent decision: ring slots
+// are read atomically one by one, so a decision landing mid-snapshot
+// contributes either its fresh sample or the slot's previous valid
+// sample — never a torn value.
 func (m *metricsRecorder) snapshot() Metrics {
 	m.mu.Lock()
 	out := Metrics{
-		Snapshots:        m.snapshots,
-		Decisions:        m.decisions,
-		Coalesced:        m.coalesced,
 		Retrains:         m.retrains,
 		RetrainsRejected: m.rejected,
 		RetrainsFailed:   m.failed,
 		LastRetrainError: m.lastRetrain,
 		ConfigError:      m.configErr,
 	}
-	lat := make([]time.Duration, m.ringN)
-	copy(lat, m.ring[:m.ringN])
-	elapsed := time.Since(m.start).Seconds()
 	m.mu.Unlock()
+	out.Snapshots = m.snapshots.Load()
+	out.Coalesced = m.coalesced.Load()
+	out.Decisions = m.decisions.Load()
 
-	if elapsed > 0 {
+	n := out.Decisions
+	if n > latencyRingSize {
+		n = latencyRingSize
+	}
+	lat := make([]time.Duration, n)
+	for i := range lat {
+		lat[i] = time.Duration(m.ring[i].Load())
+	}
+	if elapsed := time.Since(m.start).Seconds(); elapsed > 0 {
 		out.DecisionsPerSec = float64(out.Decisions) / elapsed
 	}
 	if len(lat) > 0 {

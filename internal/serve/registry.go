@@ -108,6 +108,23 @@ type topoModels struct {
 type Registry struct {
 	mu    sync.Mutex
 	topos map[string]*topoModels
+	tel   *Telemetry
+}
+
+// SetTelemetry attaches the observability instrument set: checkpoint
+// installs and rollbacks are counted per topology and source. A nil
+// Telemetry (the default) keeps the registry unobserved.
+func (r *Registry) SetTelemetry(t *Telemetry) {
+	r.mu.Lock()
+	r.tel = t
+	r.mu.Unlock()
+}
+
+// telemetry returns the attached instrument set (nil-safe for callers).
+func (r *Registry) telemetry() *Telemetry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tel
 }
 
 // NewRegistry returns an empty registry.
@@ -230,7 +247,9 @@ func (r *Registry) install(topo string, data []byte, source string, expect *Chec
 		}
 		tm.versions = kept
 	}
+	tel := r.tel
 	r.mu.Unlock()
+	tel.topo(topo).install(source)
 	return ck, nil
 }
 
@@ -298,6 +317,7 @@ func (r *Registry) Rollback(topo string) (*Checkpoint, error) {
 	prev := tm.versions[idx-1]
 	tm.versions = append(tm.versions[:idx], tm.versions[idx+1:]...)
 	tm.active.Store(prev)
+	r.tel.topo(topo).rollback()
 	return prev, nil
 }
 

@@ -2,12 +2,14 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -52,6 +54,7 @@ const maxBodyBytes = 64 << 20
 type Server struct {
 	reg *Registry
 	mux *http.ServeMux
+	tel *Telemetry
 
 	mu          sync.RWMutex
 	controllers map[string]*Controller
@@ -78,9 +81,27 @@ func NewServer(reg *Registry) *Server {
 	return s
 }
 
+// UseTelemetry attaches the observability instrument set: transport
+// request timing on the server, install/rollback counters on the
+// registry, and — for controllers added afterwards without their own
+// Telemetry option — the full per-topology decision instrumentation.
+// Call before Add. A nil Telemetry (the default) leaves the serving
+// path unobserved and unchanged.
+func (s *Server) UseTelemetry(t *Telemetry) {
+	s.mu.Lock()
+	s.tel = t
+	s.mu.Unlock()
+	s.reg.SetTelemetry(t)
+}
+
 // Add starts a controller for a topology already registered in the
 // registry (see Registry.AddTopology) and shards the API to it.
 func (s *Server) Add(topo string, opt ControllerOptions) (*Controller, error) {
+	if opt.Telemetry == nil {
+		s.mu.RLock()
+		opt.Telemetry = s.tel
+		s.mu.RUnlock()
+	}
 	c, err := NewController(topo, s.reg, opt)
 	if err != nil {
 		return nil, err
@@ -102,17 +123,75 @@ func (s *Server) Controller(topo string) *Controller {
 	return s.controllers[topo]
 }
 
-// Close stops every controller and drops every upgraded wire stream
-// (hijacked connections live outside the HTTP server's lifecycle, so
-// they must be reached explicitly).
-func (s *Server) Close() {
+// Close stops every controller and drops every upgraded wire stream.
+// It is Shutdown without a deadline.
+func (s *Server) Close() { _ = s.Shutdown(context.Background()) }
+
+// Shutdown gracefully drains the server: upgraded wire streams are
+// closed first (hijacked connections live outside the HTTP server's
+// lifecycle, so they must be reached explicitly), then every controller
+// is closed concurrently — each finishes the message it is processing
+// and answers queued sync requests with ErrClosed so no client hangs.
+// The drain is bounded by ctx; on deadline the controllers keep
+// draining in the background and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.closeWireConns()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, c := range s.controllers {
-		c.Close()
-	}
+	ctrls := s.controllers
 	s.controllers = make(map[string]*Controller)
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for _, c := range ctrls {
+			wg.Add(1)
+			go func(c *Controller) {
+				defer wg.Done()
+				c.Close()
+			}(c)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Ready reports whether the server is ready to serve real decisions:
+// every expected topology (every currently served one when none are
+// named) must have a controller that has published at least one
+// non-bootstrap decision. The returned error names the first unready
+// topology — the body of the daemon's 503 /readyz response.
+func (s *Server) Ready(expected ...string) error {
+	s.mu.RLock()
+	if len(expected) == 0 {
+		expected = make([]string, 0, len(s.controllers))
+		for name := range s.controllers {
+			expected = append(expected, name)
+		}
+		sort.Strings(expected)
+	}
+	ctrls := make([]*Controller, len(expected))
+	for i, name := range expected {
+		ctrls[i] = s.controllers[name]
+	}
+	s.mu.RUnlock()
+	if len(expected) == 0 {
+		return errors.New("no topologies served")
+	}
+	for i, c := range ctrls {
+		if c == nil {
+			return fmt.Errorf("topology %q not serving yet", expected[i])
+		}
+		if !c.Ready() {
+			return fmt.Errorf("topology %q has not served a decision yet", expected[i])
+		}
+	}
+	return nil
 }
 
 // Handler returns the HTTP handler (the server itself is not a handler
@@ -173,6 +252,13 @@ func routingResponse(topo string, d *Decision, withRatios bool) RoutingResponse 
 
 // --- handlers -----------------------------------------------------------
 
+// telemetry returns the attached instrument set (nil when unobserved).
+func (s *Server) telemetry() *Telemetry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tel
+}
+
 func (s *Server) controllerOr404(w http.ResponseWriter, r *http.Request) *Controller {
 	topo := r.PathValue("topo")
 	c := s.Controller(topo)
@@ -196,6 +282,15 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	c := s.controllerOr404(w, r)
 	if c == nil {
 		return
+	}
+	if tel := s.telemetry(); tel != nil {
+		name := transportJSON
+		if isWireRequest(r) || wantsWire(r) {
+			name = transportBinHTTP
+		}
+		defer func(start time.Time) {
+			tel.transport(name).observe(time.Since(start))
+		}(time.Now())
 	}
 	var req SnapshotRequest
 	if isWireRequest(r) {

@@ -106,6 +106,7 @@ func (s *Server) closeWireConns() {
 type wireSession struct {
 	s   *Server
 	c   *Controller
+	tel *Telemetry
 	enc wire.Encoder
 	dec wire.Decoder
 
@@ -127,8 +128,11 @@ type wireSession struct {
 // an idle one flushes per response.
 func (s *Server) serveWire(conn net.Conn, br *bufio.Reader) {
 	defer conn.Close()
+	tel := s.telemetry()
+	tel.wireConnOpen()
+	defer tel.wireConnClose()
 	bw := bufio.NewWriterSize(conn, wireWriteBufSize)
-	ws := &wireSession{s: s}
+	ws := &wireSession{s: s, tel: tel}
 	for {
 		t, payload, err := ws.dec.ReadFrame(br)
 		if err != nil {
@@ -182,18 +186,23 @@ func (ws *wireSession) handle(t wire.MsgType, payload []byte) (frame []byte, fat
 		if err := wire.DecodeSnapshot(payload, &ws.snap); err != nil {
 			return ws.errorFrame(http.StatusBadRequest, err.Error()), true
 		}
+		start := time.Now()
 		res, err := ws.c.Ingest(ws.snap.Demand, !ws.snap.Async)
 		if err != nil {
 			return ws.errorFrame(ingestErrCode(err), err.Error()), errors.Is(err, ErrClosed)
 		}
 		if ws.snap.Async {
+			ws.tel.transport(transportWire).observe(time.Since(start))
 			return ws.enc.Ack(), false
 		}
 		if res.Decision == nil {
 			// Warming: no ratios yet, and no delta base update.
+			ws.tel.transport(transportWire).observe(time.Since(start))
 			return ws.enc.Decision(&wire.Decision{Snapshot: res.Snapshot, Warming: true}), false
 		}
-		return ws.decisionFrame(res.Decision), false
+		frame := ws.decisionFrame(res.Decision)
+		ws.tel.transport(transportWire).observe(time.Since(start))
+		return frame, false
 
 	case wire.TRouting:
 		if ws.c == nil {
@@ -223,6 +232,7 @@ func (ws *wireSession) handle(t wire.MsgType, payload []byte) (frame []byte, fat
 		}
 		// Drop the delta base: the reply and the next decision are full.
 		ws.haveBase = false
+		ws.tel.wireResync()
 		return ws.decisionFrame(ws.c.Decision()), false
 
 	default:
@@ -252,6 +262,7 @@ func (ws *wireSession) decisionFrame(d *Decision) []byte {
 	if !ok {
 		frame = ws.enc.Decision(&next)
 	}
+	ws.tel.wireDecision(ok)
 	ws.last = next
 	ws.haveBase = true
 	return frame

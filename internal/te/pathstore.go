@@ -9,9 +9,24 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"figret/internal/graph"
 )
+
+// Process-wide path-cache counters, aggregated across every PathStore
+// (stores are created ad hoc — experiments.NewEnv, cmd/served — and not
+// retained, so per-store counters would be unreachable by the time a
+// metrics scrape wants them).
+var pathCacheHits, pathCacheMisses atomic.Uint64
+
+// PathCacheStats returns the process-wide PathStore load totals: hits
+// are Loads that returned a usable entry, misses are Loads that found
+// the entry absent, corrupt or keyed differently (the recomputation
+// path). Monotonic; safe for concurrent use.
+func PathCacheStats() (hits, misses uint64) {
+	return pathCacheHits.Load(), pathCacheMisses.Load()
+}
 
 // PathStore is a versioned on-disk cache of candidate-path precomputations,
 // content-addressed by (topology content hash, k, selector name): every
@@ -154,6 +169,7 @@ func (st *PathStore) Load(g *graph.Graph, k int, selector string) (*PathSet, err
 	topoHash := g.ContentHash()
 	data, err := os.ReadFile(st.entryPath(topoHash, k, selector))
 	if os.IsNotExist(err) {
+		pathCacheMisses.Add(1)
 		return nil, &pathCacheMissError{reason: "no entry"}
 	}
 	if err != nil {
@@ -161,6 +177,7 @@ func (st *PathStore) Load(g *graph.Graph, k int, selector string) (*PathSet, err
 	}
 	perPair, err := decodePathStoreEntry(data, topoHash, k, g.NumVertices(), selector)
 	if err != nil {
+		pathCacheMisses.Add(1)
 		return nil, err
 	}
 	ps, err := assemblePathSet(g, k, NewPairs(g.NumVertices()), perPair)
@@ -168,8 +185,10 @@ func (st *PathStore) Load(g *graph.Graph, k int, selector string) (*PathSet, err
 		// Paths that no longer exist in g mean the entry belongs to a
 		// different (hash-colliding or hand-edited) topology: a miss, not
 		// a fault.
+		pathCacheMisses.Add(1)
 		return nil, &pathCacheMissError{reason: err.Error()}
 	}
+	pathCacheHits.Add(1)
 	return ps, nil
 }
 

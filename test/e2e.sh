@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# e2e smoke gate for the served daemon: boot it, watch the ops probes
+# transition (healthz live while readyz still reports the warming
+# topology), replay a trace over both transports through the real
+# sockets, assert non-zero decision counters on the Prometheus scrape,
+# and verify SIGTERM drains the process within the budget.
+#
+# Run from the repository root:  ./test/e2e.sh
+set -euo pipefail
+
+API_PORT="${E2E_API_PORT:-18080}"
+OPS_PORT="${E2E_OPS_PORT:-19090}"
+API="http://127.0.0.1:${API_PORT}"
+OPS="http://127.0.0.1:${OPS_PORT}"
+TOPO=pod-db
+DRAIN_BUDGET_SECS=5
+
+workdir="$(mktemp -d)"
+served_pid=""
+cleanup() {
+  if [[ -n "$served_pid" ]] && kill -0 "$served_pid" 2>/dev/null; then
+    kill -9 "$served_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "e2e: FAIL: $*" >&2
+  echo "--- served log ---" >&2
+  cat "$workdir/served.log" >&2 || true
+  exit 1
+}
+
+code() { curl -s -o /dev/null -w '%{http_code}' "$1" || true; }
+
+metric() {
+  # Prints the value of the first series whose name+labels prefix-match
+  # $1 in the buffered scrape at $workdir/metrics.
+  awk -v want="$1" 'index($0, want) == 1 { print $2; exit }' "$workdir/metrics"
+}
+
+echo "e2e: building served"
+go build -o "$workdir/served" ./cmd/served
+
+echo "e2e: booting served ($TOPO, api :$API_PORT, ops :$OPS_PORT)"
+"$workdir/served" -topos "$TOPO" -addr "127.0.0.1:$API_PORT" -opsaddr "127.0.0.1:$OPS_PORT" \
+  -T 60 -epochs 2 -H 4 -seed 3 -logformat json -draintimeout "${DRAIN_BUDGET_SECS}s" \
+  >"$workdir/served.log" 2>&1 &
+served_pid=$!
+
+# Liveness must come up while the daemon is still bootstrapping.
+for i in $(seq 1 300); do
+  [[ "$(code "$OPS/healthz")" == 200 ]] && break
+  kill -0 "$served_pid" 2>/dev/null || fail "served exited during boot"
+  sleep 0.1
+done
+[[ "$(code "$OPS/healthz")" == 200 ]] || fail "healthz never reached 200"
+echo "e2e: healthz is live"
+
+# Readiness is defined as every topology having served >=1 real
+# decision; before any snapshot is ingested it must be 503 with the
+# topology named in the body.
+readyz_body="$(curl -s "$OPS/readyz")"
+[[ "$(code "$OPS/readyz")" == 503 ]] || fail "readyz was not 503 before the first decision"
+grep -q "$TOPO" <<<"$readyz_body" || fail "readyz 503 body does not name the topology: $readyz_body"
+echo "e2e: readyz correctly pending: $readyz_body"
+
+# Wait for the bootstrap checkpoint, then replay over both transports.
+for i in $(seq 1 600); do
+  [[ "$(curl -s "$API/v1/topologies/$TOPO/routing" | grep -c '"version":[1-9]' || true)" -ge 1 ]] && break
+  kill -0 "$served_pid" 2>/dev/null || fail "served exited during bootstrap"
+  sleep 0.1
+done
+
+echo "e2e: replaying over JSON"
+"$workdir/served" -topos "$TOPO" -drive "$API" -drivetransport json -T 60 -seed 3 \
+  >"$workdir/drive-json.log" 2>&1 || fail "json replay failed: $(cat "$workdir/drive-json.log")"
+echo "e2e: replaying over the wire stream"
+"$workdir/served" -topos "$TOPO" -drive "$API" -drivetransport wire -T 60 -seed 3 -driven 500 \
+  >"$workdir/drive-wire.log" 2>&1 || fail "wire replay failed: $(cat "$workdir/drive-wire.log")"
+
+[[ "$(code "$OPS/readyz")" == 200 ]] || fail "readyz did not flip to 200 after serving decisions"
+echo "e2e: readyz flipped to ready"
+
+curl -s "$OPS/metrics" >"$workdir/metrics"
+decisions="$(metric "figret_serve_decisions_total{topology=\"$TOPO\"}")"
+json_reqs="$(metric 'figret_serve_transport_requests_total{transport="json"}')"
+wire_reqs="$(metric 'figret_serve_transport_requests_total{transport="wire"}')"
+[[ -n "$decisions" && "$decisions" != 0 ]] || fail "figret_serve_decisions_total is '${decisions:-missing}'"
+[[ -n "$json_reqs" && "$json_reqs" != 0 ]] || fail "json transport counter is '${json_reqs:-missing}'"
+[[ -n "$wire_reqs" && "$wire_reqs" != 0 ]] || fail "wire transport counter is '${wire_reqs:-missing}'"
+echo "e2e: metrics scrape ok (decisions=$decisions json=$json_reqs wire=$wire_reqs)"
+
+echo "e2e: sending SIGTERM"
+kill -TERM "$served_pid"
+deadline=$(( $(date +%s) + DRAIN_BUDGET_SECS ))
+while kill -0 "$served_pid" 2>/dev/null; do
+  [[ "$(date +%s)" -lt "$deadline" ]] || fail "served did not drain within ${DRAIN_BUDGET_SECS}s of SIGTERM"
+  sleep 0.1
+done
+wait "$served_pid" || fail "served exited non-zero after SIGTERM"
+grep -q "shutdown complete" "$workdir/served.log" || fail "no graceful-shutdown log record"
+served_pid=""
+
+echo "e2e: PASS"
