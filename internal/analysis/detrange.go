@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewDetRange returns the detrange analyzer: no ranging over a map in
+// the deterministic packages (scope, by import path). Go randomizes map
+// iteration order, so any map range feeding numeric state — a float
+// accumulation, an output ordering, an RNG consumption order — breaks
+// the bitwise-determinism contracts of DESIGN.md §6/§10.
+//
+// The one recognized idiom is sorted key extraction: a range whose body
+// does nothing but append the keys to a slice that is subsequently
+// sorted (sort.Strings / sort.Ints / sort.Slice / slices.Sort / ... in
+// the same function). Everything else needs a //figret:allow(detrange)
+// with a reason arguing order-independence (e.g. an integer count).
+func NewDetRange(scope []string) *Analyzer {
+	a := &Analyzer{
+		Name: "detrange",
+		Doc:  "no range over a map in the deterministic packages unless keys are extracted and sorted",
+	}
+	a.Run = func(pass *Pass) {
+		if !pathIn(pass.Path, scope) {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				fn := funcBody(n)
+				if fn == nil {
+					return true
+				}
+				checkMapRanges(pass, fn)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// funcBody returns the body of a function declaration or literal, or
+// nil for other nodes.
+func funcBody(n ast.Node) *ast.BlockStmt {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// checkMapRanges flags every map range in one function body (nested
+// function literals are visited separately and skipped here, so each
+// range is matched against the sorts of its own function).
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	// Gather the function's own map ranges and sort calls.
+	var ranges []*ast.RangeStmt
+	var sorts []sortCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			if t := pass.Info.Types[st.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					ranges = append(ranges, st)
+				}
+			}
+		case *ast.CallExpr:
+			if obj, arg := sortedSlice(pass.Info, st); obj != nil {
+				sorts = append(sorts, sortCall{obj: obj, pos: st.Pos(), arg: arg})
+			}
+		}
+		return true
+	})
+	for _, r := range ranges {
+		if obj := keyExtraction(pass.Info, r); obj != nil {
+			sorted := false
+			for _, s := range sorts {
+				if s.obj == obj && s.pos > r.End() {
+					sorted = true
+					break
+				}
+			}
+			if sorted {
+				continue
+			}
+			pass.Reportf(r.For, "map iteration extracts keys into %q but never sorts them; sort before use or annotate with //figret:allow(detrange)", obj.Name())
+			continue
+		}
+		pass.Reportf(r.For, "range over a map in a deterministic package: iteration order is randomized; extract and sort the keys first, or annotate with //figret:allow(detrange) and a reason")
+	}
+}
+
+type sortCall struct {
+	obj types.Object
+	pos token.Pos
+	arg ast.Expr
+}
+
+// sortedSlice matches a call to one of the recognized sorting functions
+// (sort.Strings/Ints/Float64s/Slice/SliceStable/Sort/Stable,
+// slices.Sort/SortFunc/SortStableFunc) and returns the object of its
+// first argument when that is a plain identifier.
+func sortedSlice(info *types.Info, call *ast.CallExpr) (types.Object, ast.Expr) {
+	f := funcObj(info, call)
+	if f == nil || f.Pkg() == nil || len(call.Args) == 0 {
+		return nil, nil
+	}
+	pkg, name := f.Pkg().Path(), f.Name()
+	ok := false
+	switch pkg {
+	case "sort":
+		switch name {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			ok = true
+		}
+	case "slices":
+		switch name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			ok = true
+		}
+	}
+	if !ok {
+		return nil, nil
+	}
+	id, okID := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !okID {
+		return nil, nil
+	}
+	return info.Uses[id], call.Args[0]
+}
+
+// keyExtraction matches the sorted-key-extraction loop shape
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// (value variable absent or blank, body exactly one append of the key
+// into a slice variable) and returns the keys variable's object.
+func keyExtraction(info *types.Info, r *ast.RangeStmt) types.Object {
+	if r.Key == nil {
+		return nil
+	}
+	keyID, ok := r.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" {
+		return nil
+	}
+	if r.Value != nil {
+		if v, ok := r.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return nil
+		}
+	}
+	if len(r.Body.List) != 1 {
+		return nil
+	}
+	as, ok := r.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Tok != token.ASSIGN {
+		return nil
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return nil
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" || info.Uses[fn] != types.Universe.Lookup("append") {
+		return nil
+	}
+	dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || info.Uses[dst] != info.Uses[lhs] {
+		return nil
+	}
+	arg, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	keyObj := info.Defs[keyID]
+	if keyObj == nil || info.Uses[arg] != keyObj {
+		return nil
+	}
+	return info.Uses[lhs]
+}

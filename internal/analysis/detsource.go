@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewDetSource returns the detsource analyzer: no nondeterministic value
+// sources in the deterministic packages (scope, by import path), outside
+// _test.go files. Flagged sources:
+//
+//   - time.Now (and its derived time.Since / time.Until): wall-clock
+//     reads feeding numeric state make reruns diverge;
+//   - package-level math/rand and math/rand/v2 functions (rand.Intn,
+//     rand.Float64, rand.Shuffle, ...): the global generator is randomly
+//     seeded since Go 1.20. Explicitly seeded generators
+//     (rand.New(rand.NewSource(seed)) and the New* constructors) are
+//     deterministic and stay allowed;
+//   - (*sync.Map).Range: map-keyed iteration with unspecified order.
+func NewDetSource(scope []string) *Analyzer {
+	a := &Analyzer{
+		Name: "detsource",
+		Doc:  "no time.Now, global math/rand or sync.Map iteration in the deterministic packages",
+	}
+	a.Run = func(pass *Pass) {
+		if !pathIn(pass.Path, scope) {
+			return
+		}
+		for _, f := range pass.Files {
+			if pass.IsTestFile(f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.Uses[sel.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "time":
+					switch obj.Name() {
+					case "Now", "Since", "Until":
+						pass.Reportf(sel.Pos(), "time.%s in a deterministic package: wall-clock reads make reruns diverge; thread an explicit timestamp in, or annotate with //figret:allow(detsource)", obj.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if fn, ok := obj.(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil &&
+						!isRandConstructor(obj.Name()) {
+						pass.Reportf(sel.Pos(), "global %s.%s in a deterministic package: the shared generator is randomly seeded; use an explicitly seeded rand.New(rand.NewSource(seed)), or annotate with //figret:allow(detsource)", obj.Pkg().Name(), obj.Name())
+					}
+				case "sync":
+					if fn, ok := obj.(*types.Func); ok && fn.Name() == "Range" {
+						if recv := namedRecv(fn); recv != nil && recv.Obj().Name() == "Map" {
+							pass.Reportf(sel.Pos(), "sync.Map.Range in a deterministic package: iteration order is unspecified; collect and sort the keys, or annotate with //figret:allow(detsource)")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isRandConstructor reports whether a math/rand package-level function
+// constructs an explicitly seeded source rather than consuming the
+// global one.
+func isRandConstructor(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NewNilRecv returns the nilrecv analyzer: every pointer-receiver method
+// on a registered instrument type must begin with a nil-receiver guard —
+// the DESIGN.md §12 contract that disabled telemetry costs exactly one
+// branch and never panics. targets maps package import paths to the type
+// names whose methods carry the contract.
+//
+// Accepted guard shapes, as the first statement of the body:
+//
+//	if r == nil { ... return ... }   // early exit, rest may use r
+//	if r != nil { ... }              // guarded body; the rest of the
+//	                                 // function must not use r
+//
+// Methods with an unnamed receiver cannot dereference it and are exempt.
+func NewNilRecv(targets map[string][]string) *Analyzer {
+	a := &Analyzer{
+		Name: "nilrecv",
+		Doc:  "pointer-receiver methods on instrument types must begin with a nil-receiver guard",
+	}
+	a.Run = func(pass *Pass) {
+		typeNames := targets[pass.Path]
+		if len(typeNames) == 0 {
+			return
+		}
+		for _, f := range pass.Files {
+			if pass.IsTestFile(f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv == nil || len(fn.Recv.List) != 1 {
+					continue
+				}
+				star, ok := fn.Recv.List[0].Type.(*ast.StarExpr)
+				if !ok {
+					continue
+				}
+				base, ok := ast.Unparen(star.X).(*ast.Ident)
+				if !ok || !pathIn(base.Name, typeNames) {
+					continue
+				}
+				names := fn.Recv.List[0].Names
+				if len(names) == 0 || names[0].Name == "_" {
+					continue // receiver never dereferenced
+				}
+				if fn.Body == nil {
+					continue
+				}
+				if !startsWithNilGuard(pass, fn.Body, names[0].Name) {
+					pass.Reportf(fn.Name.Pos(), "method (*%s).%s must begin with an `if %s == nil` guard (§12: every instrument is nil-receiver-safe)", base.Name, fn.Name.Name, names[0].Name)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// startsWithNilGuard reports whether body's first statement is a valid
+// nil guard for the named receiver.
+func startsWithNilGuard(pass *Pass, body *ast.BlockStmt, recvName string) bool {
+	if len(body.List) == 0 {
+		return true // empty body cannot dereference
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	bin, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	var other ast.Expr
+	switch {
+	case isIdentFor(pass, bin.X, recvName):
+		other = bin.Y
+	case isIdentFor(pass, bin.Y, recvName):
+		other = bin.X
+	default:
+		return false
+	}
+	if id, ok := ast.Unparen(other).(*ast.Ident); !ok || id.Name != "nil" {
+		return false
+	}
+	switch bin.Op {
+	case token.EQL:
+		// if r == nil { ... } — the guard body must leave the function.
+		return endsInReturn(ifs.Body)
+	case token.NEQ:
+		// if r != nil { ... } — nothing after the guard may use r.
+		for _, st := range body.List[1:] {
+			if usesIdent(pass, st, recvName) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// isIdentFor reports whether e is a plain identifier named name.
+func isIdentFor(pass *Pass, e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// endsInReturn reports whether a block's final statement is a return (or
+// a panic call).
+func endsInReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// usesIdent reports whether the statement mentions an identifier with
+// the given name (shadowing is rare enough in guard tails that a name
+// match is the right strictness: a shadowed use still reads as a
+// dereference to a reviewer).
+func usesIdent(pass *Pass, st ast.Stmt, name string) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import "strings"
+
+// Deterministic packages: everything whose outputs are covered by a
+// bitwise contract — training and inference (nn, figret), the TE
+// substrate and solver, the evaluation engine, the scenario matrix with
+// its CRC-sealed goldens, and the wire codec whose frames must encode
+// identically on every run.
+var detPackages = []string{
+	"figret/internal/nn",
+	"figret/internal/te",
+	"figret/internal/solver",
+	"figret/internal/figret",
+	"figret/internal/eval",
+	"figret/internal/scenario",
+	"figret/internal/wire",
+}
+
+// Instrument types under the §12 nil-receiver contract. obs.Span is
+// deliberately absent: its contract is zero-*value* inertness (spans are
+// threaded by value), not nil-pointer safety.
+var nilRecvTargets = map[string][]string{
+	"figret/internal/obs":   {"Counter", "Gauge", "Histogram", "Tracer"},
+	"figret/internal/serve": {"Telemetry", "StreamTelemetry"},
+}
+
+// View-returning functions under the PR 3 aliasing contract.
+var viewFuncs = []ViewFunc{
+	{Pkg: "figret/internal/traffic", Recv: "Trace", Name: "Slice", Fields: []string{"Snapshots"}},
+	{Pkg: "figret/internal/traffic", Recv: "Trace", Name: "WindowInto"},
+	{Pkg: "figret/internal/nn", Recv: "MLP", Name: "GradView"},
+}
+
+// wirePackage is the binary codec whose errors must never be discarded.
+const wirePackage = "figret/internal/wire"
+
+// DefaultSuite returns the project's analyzer suite with its production
+// configuration — the one cmd/figretvet runs and CI gates on.
+func DefaultSuite() *Suite {
+	return &Suite{Analyzers: []*Analyzer{
+		NewDetRange(detPackages),
+		NewDetSource(detPackages),
+		NewNilRecv(nilRecvTargets),
+		NewViewSafe(viewFuncs),
+		NewErrWire(wirePackage),
+	}}
+}
+
+// scopePath canonicalizes an analysis unit's path for scope matching:
+// external test packages (path + ".test") inherit the scope of the
+// package they test.
+func scopePath(path string) string {
+	return strings.TrimSuffix(path, ".test")
+}

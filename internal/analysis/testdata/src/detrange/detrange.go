@@ -1,0 +1,102 @@
+// Package detrange is the golden-diagnostic corpus for the detrange
+// analyzer: map ranges in a deterministic package are flagged unless the
+// keys are extracted and sorted, or the statement carries a justified
+// allow directive.
+package detrange
+
+import (
+	"sort"
+)
+
+func sumValues(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want detrange:"range over a map in a deterministic package"
+		s += v
+	}
+	return s
+}
+
+func sortedKeys(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedKeysSortSlice(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func extractedButUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want detrange:"extracts keys into \"keys\" but never sorts them"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortBeforeLoopDoesNotCount(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	sort.Strings(keys)
+	for k := range m { // want detrange:"never sorts them"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func insideClosure(m map[string]int) func() int {
+	return func() int {
+		n := 0
+		for range m { // want detrange:"range over a map in a deterministic package"
+			n++
+		}
+		return n
+	}
+}
+
+func sliceRangeIsFine(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+func allowedCount(m map[string]int) int {
+	n := 0
+	//figret:allow(detrange) integer count, addition is order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+
+func unexplainedAllow(m map[int]int) int {
+	s := 0
+	// want @+1 allow:"allow\\(detrange\\) without a reason"
+	//figret:allow(detrange)
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// want @+1 allow:"unknown check \"nosuchcheck\""
+//figret:allow(nosuchcheck) this check does not exist
+
+func staleAllow(xs []int) int {
+	n := 0
+	// want @+1 allow:"unused allow\\(detrange\\)"
+	//figret:allow(detrange) stale: a slice range never triggers detrange
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}

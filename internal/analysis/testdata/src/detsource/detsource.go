@@ -1,0 +1,55 @@
+// Package detsource is the golden-diagnostic corpus for the detsource
+// analyzer: wall-clock reads, globally seeded math/rand and sync.Map
+// iteration are flagged in deterministic packages, outside _test.go.
+package detsource
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want detsource:"time.Now in a deterministic package"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want detsource:"time.Since in a deterministic package"
+}
+
+func deadline(t1 time.Time) time.Duration {
+	return time.Until(t1) // want detsource:"time.Until in a deterministic package"
+}
+
+func explicitTimestampIsFine(nowUnixNanos int64) time.Time {
+	return time.Unix(0, nowUnixNanos)
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want detsource:"global rand.Float64"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want detsource:"global rand.Shuffle"
+}
+
+func seededRandIsFine(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func syncMapRange(m *sync.Map) int {
+	n := 0
+	m.Range(func(k, v any) bool { // want detsource:"sync.Map.Range in a deterministic package"
+		n++
+		return true
+	})
+	return n
+}
+
+func syncMapLoadIsFine(m *sync.Map) (any, bool) {
+	return m.Load("k")
+}
+
+//figret:allow(detsource) process start stamp, never feeds numeric decision state
+var bootTime = time.Now()

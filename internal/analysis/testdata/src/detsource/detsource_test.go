@@ -1,0 +1,14 @@
+package detsource
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files are outside the detsource contract: benchmarks and tests
+// may read the wall clock freely.
+func TestClockIsFineHere(t *testing.T) {
+	if time.Since(time.Now()) > time.Second {
+		t.Fatal("impossible")
+	}
+}

@@ -1,0 +1,96 @@
+// Package nilrecv is the golden-diagnostic corpus for the nilrecv
+// analyzer: every pointer-receiver method on a registered instrument
+// type must begin with a nil-receiver guard (the §12 one-branch
+// contract).
+package nilrecv
+
+// Counter is a registered instrument type.
+type Counter struct{ n uint64 }
+
+// Inc uses the guarded-body form: the guard is the whole method.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.n++
+	}
+}
+
+// Value uses the early-return form.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// ValueFlipped writes the early-return guard with nil first.
+func (c *Counter) ValueFlipped() uint64 {
+	if nil == c {
+		return 0
+	}
+	return c.n
+}
+
+// Unguarded dereferences a possibly-nil receiver.
+func (c *Counter) Unguarded() uint64 { // want nilrecv:"must begin with an `if c == nil` guard"
+	return c.n
+}
+
+// GuardNotFirst guards too late: the first statement already counts.
+func (c *Counter) GuardNotFirst() uint64 { // want nilrecv:"must begin with an `if c == nil` guard"
+	x := uint64(1)
+	if c == nil {
+		return x
+	}
+	return c.n + x
+}
+
+// TailUse guards a prefix of the body but touches the receiver after.
+func (c *Counter) TailUse() { // want nilrecv:"must begin with an `if c == nil` guard"
+	if c != nil {
+		c.n++
+	}
+	c.n = 0
+}
+
+// FallthroughGuard's == nil branch does not leave the function.
+func (c *Counter) FallthroughGuard() { // want nilrecv:"must begin with an `if c == nil` guard"
+	if c == nil {
+		_ = 0
+	}
+	c.n++
+}
+
+// PanicGuard leaves the function by panicking; that counts.
+func (c *Counter) PanicGuard() uint64 {
+	if c == nil {
+		panic("nil counter")
+	}
+	return c.n
+}
+
+// Anon has no receiver name, so it cannot dereference one.
+func (*Counter) Anon() {}
+
+// ByValue receives a copy; nil-receiver safety does not apply.
+func (c Counter) ByValue() uint64 { return c.n }
+
+//figret:allow(nilrecv) constructor helper, documented never called on nil
+func (c *Counter) Reset() { c.n = 0 }
+
+// Tracer is a second registered type.
+type Tracer struct{ id int }
+
+// Next is guarded.
+func (t *Tracer) Next() int {
+	if t == nil {
+		return 0
+	}
+	t.id++
+	return t.id
+}
+
+// Unregistered types carry no contract.
+type Unregistered struct{ n int }
+
+// Bump has no guard and needs none.
+func (u *Unregistered) Bump() { u.n++ }

@@ -1,0 +1,68 @@
+// Package viewsafe is the golden-diagnostic corpus for the viewsafe
+// analyzer: results of registered view-returning functions must not be
+// appended to or written through (the PR 3 capacity-clipped view
+// contract) without an allow directive.
+package viewsafe
+
+// Buf owns a slice; View hands out capacity-clipped views of it.
+type Buf struct{ Items []int }
+
+// View returns a view sharing b's backing array (Items is a registered
+// view field).
+func (b *Buf) View(from, to int) *Buf {
+	return &Buf{Items: b.Items[from:to:to]}
+}
+
+// MakeView is a registered plain view-returning function.
+func MakeView(xs []int) []int { return xs[:len(xs):len(xs)] }
+
+func appendToCallResult(xs []int) []int {
+	return append(MakeView(xs), 1) // want viewsafe:"append to the result of MakeView"
+}
+
+func appendToViewVar(xs []int) []int {
+	v := MakeView(xs)
+	return append(v, 2) // want viewsafe:"append to the result of MakeView"
+}
+
+func appendToViewField(b *Buf) {
+	v := b.View(0, 1)
+	v.Items = append(v.Items, 3) // want viewsafe:"append to the result of Buf.View"
+}
+
+func writeThroughField(b *Buf) {
+	v := b.View(0, 2)
+	v.Items[0] = 9 // want viewsafe:"assignment through the result of Buf.View"
+}
+
+func writeThroughCallResult(xs []int) {
+	MakeView(xs)[0] = 3 // want viewsafe:"assignment through the result of MakeView"
+}
+
+func incrementThroughView(xs []int) {
+	v := MakeView(xs)
+	v[0]++ // want viewsafe:"mutation through the result of MakeView"
+}
+
+func readingIsFine(b *Buf) int {
+	v := b.View(0, 1)
+	return v.Items[0] + len(v.Items)
+}
+
+func ownerMutationIsFine(b *Buf) {
+	b.Items = append(b.Items, 7)
+	b.Items[0] = 1
+}
+
+func unregisteredCallIsFine(xs []int) []int {
+	clone := func(x []int) []int { return append([]int(nil), x...) }
+	c := clone(xs)
+	c[0] = 5
+	return append(c, 6)
+}
+
+func allowedHandOver(xs []int) []int {
+	v := MakeView(xs)
+	//figret:allow(viewsafe) xs is scratch whose ownership is handed over by contract
+	return append(v, 4)
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ViewFunc registers one view-returning function for the viewsafe
+// analyzer: results alias state owned by someone else (the parent trace,
+// the caller's buffer, the network's gradient buffers), so appending to
+// them or assigning through their elements mutates shared state.
+type ViewFunc struct {
+	// Pkg is the defining package's import path.
+	Pkg string
+	// Recv is the receiver type name ("" for plain functions).
+	Recv string
+	// Name is the function or method name.
+	Name string
+	// Fields names pointer-result struct fields that carry the aliased
+	// storage (e.g. Trace.Snapshots): appends to and element assignments
+	// through view.Field are flagged too.
+	Fields []string
+}
+
+// NewViewSafe returns the viewsafe analyzer: the result of a registered
+// view-returning call must not be the first argument of append and must
+// not have elements assigned through it (directly or via a local
+// variable bound to the call) without a //figret:allow(viewsafe)
+// directive — the PR 3 view contract: views are for reading; owners
+// mutate.
+func NewViewSafe(funcs []ViewFunc) *Analyzer {
+	a := &Analyzer{
+		Name: "viewsafe",
+		Doc:  "results of view-returning functions must not be appended to or written through",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				body := funcBody(n)
+				if body == nil {
+					return true
+				}
+				checkViews(pass, body, funcs)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// viewCall matches a call expression against the registry, returning the
+// matched registration.
+func viewCall(pass *Pass, call *ast.CallExpr, funcs []ViewFunc) (ViewFunc, bool) {
+	fo := funcObj(pass.Info, call)
+	if fo == nil || fo.Pkg() == nil {
+		return ViewFunc{}, false
+	}
+	recvName := ""
+	if recv := namedRecv(fo); recv != nil {
+		recvName = recv.Obj().Name()
+	}
+	for _, vf := range funcs {
+		if fo.Pkg().Path() == vf.Pkg && fo.Name() == vf.Name && recvName == vf.Recv {
+			return vf, true
+		}
+	}
+	return ViewFunc{}, false
+}
+
+// checkViews flags view-mutation hazards within one function body
+// (nested function literals are checked separately).
+func checkViews(pass *Pass, body *ast.BlockStmt, funcs []ViewFunc) {
+	// Pass 1: collect local variables bound to view calls.
+	views := map[types.Object]ViewFunc{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != len(as.Lhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			vf, ok := viewCall(pass, call, funcs)
+			if !ok {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					views[obj] = vf
+				} else if obj := pass.Info.Uses[id]; obj != nil {
+					views[obj] = vf
+				}
+			}
+		}
+		return true
+	})
+	describe := func(e ast.Expr) (ViewFunc, bool) {
+		e = ast.Unparen(e)
+		if call, ok := e.(*ast.CallExpr); ok {
+			return viewCall(pass, call, funcs)
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			vf, ok := views[pass.Info.Uses[id]]
+			return vf, ok
+		}
+		return ViewFunc{}, false
+	}
+	// isViewStorage reports whether e denotes view-aliased storage: the
+	// view expression itself, or view.Field for a registered field.
+	isViewStorage := func(e ast.Expr) (ViewFunc, bool) {
+		if vf, ok := describe(e); ok {
+			return vf, true
+		}
+		if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+			if vf, ok := describe(sel.X); ok && pathIn(sel.Sel.Name, vf.Fields) {
+				return vf, true
+			}
+		}
+		return ViewFunc{}, false
+	}
+	// Pass 2: flag hazards.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "append" &&
+				pass.Info.Uses[id] == types.Universe.Lookup("append") && len(st.Args) > 0 {
+				if vf, ok := isViewStorage(st.Args[0]); ok {
+					pass.Reportf(st.Pos(), "append to the result of %s: views are capacity-clipped reads, the owner appends (PR 3 view contract)", viewName(vf))
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if vf, ok := isViewStorage(ix.X); ok {
+					pass.Reportf(lhs.Pos(), "assignment through the result of %s mutates shared state (PR 3 view contract)", viewName(vf))
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(st.X).(*ast.IndexExpr); ok {
+				if vf, ok := isViewStorage(ix.X); ok {
+					pass.Reportf(st.Pos(), "mutation through the result of %s mutates shared state (PR 3 view contract)", viewName(vf))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// viewName renders a registration for diagnostics.
+func viewName(vf ViewFunc) string {
+	if vf.Recv != "" {
+		return vf.Recv + "." + vf.Name
+	}
+	return vf.Name
+}

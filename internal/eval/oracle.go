@@ -126,6 +126,7 @@ func (o *Oracle) Len() int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	n := 0
+	//figret:allow(detrange) integer count over all chains; addition is order-independent
 	for _, chain := range o.cache {
 		n += len(chain)
 	}

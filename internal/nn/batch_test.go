@@ -232,13 +232,17 @@ func TestScratchValidation(t *testing.T) {
 	net := NewMLP([]int{4, 6, 2}, ReLU, Sigmoid, rng)
 	other := NewMLP([]int{5, 6, 2}, ReLU, Sigmoid, rng)
 	s := NewScratch(net, 2)
-	for name, fn := range map[string]func(){
-		"zero batch":     func() { NewScratch(net, 0) },
-		"over capacity":  func() { net.BatchForward(make([]float64, 3*4), 3, s) },
-		"wrong arch":     func() { other.BatchForward(make([]float64, 2*5), 2, s) },
-		"wrong input":    func() { net.BatchForward(make([]float64, 7), 2, s) },
-		"wrong gradient": func() { net.BatchBackward(make([]float64, 3), 2, s) },
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"zero batch", func() { NewScratch(net, 0) }},
+		{"over capacity", func() { net.BatchForward(make([]float64, 3*4), 3, s) }},
+		{"wrong arch", func() { other.BatchForward(make([]float64, 2*5), 2, s) }},
+		{"wrong input", func() { net.BatchForward(make([]float64, 7), 2, s) }},
+		{"wrong gradient", func() { net.BatchBackward(make([]float64, 3), 2, s) }},
 	} {
+		name, fn := tc.name, tc.fn
 		func() {
 			defer func() {
 				if recover() == nil {

@@ -82,9 +82,9 @@ func TestShardSelectUnion(t *testing.T) {
 	if len(seen) != len(specs) {
 		t.Fatalf("union has %d of %d specs", len(seen), len(specs))
 	}
-	for name, c := range seen {
-		if c != 1 {
-			t.Fatalf("spec %s selected %d times", name, c)
+	for _, s := range specs {
+		if c := seen[s.Name]; c != 1 {
+			t.Fatalf("spec %s selected %d times", s.Name, c)
 		}
 	}
 }

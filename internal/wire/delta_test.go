@@ -180,21 +180,25 @@ func TestApplyDeltaGap(t *testing.T) {
 	}
 
 	sentinel := Decision{Seq: -99, Ratios: []float64{-1}}
-	for name, base := range map[string]*Decision{
-		"nil base":     nil,
-		"warming base": {Seq: 5, Warming: true},
-		"seq mismatch": fullDecision(4, layout),
-		"version gap": func() *Decision {
+	for _, tc := range []struct {
+		name string
+		base *Decision
+	}{
+		{"nil base", nil},
+		{"warming base", &Decision{Seq: 5, Warming: true}},
+		{"seq mismatch", fullDecision(4, layout)},
+		{"version gap", func() *Decision {
 			b := fullDecision(5, layout)
 			b.Version++
 			return b
-		}(),
-		"layout mismatch": func() *Decision {
+		}()},
+		{"layout mismatch", func() *Decision {
 			b := fullDecision(5, layout)
 			b.Ratios = b.Ratios[:len(b.Ratios)-1]
 			return b
-		}(),
+		}()},
 	} {
+		name, base := tc.name, tc.base
 		out := sentinel
 		out.Ratios = append([]float64(nil), sentinel.Ratios...)
 		if err := ApplyDelta(base, &d, layout, &out); !errors.Is(err, ErrDeltaGap) {

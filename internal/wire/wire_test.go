@@ -262,16 +262,16 @@ func FuzzDecodeFrame(f *testing.F) {
 		switch typ {
 		case THello:
 			var m Hello
-			_ = DecodeHello(payload, &m)
+			_ = DecodeHello(payload, &m) //figret:allow(errwire) fuzz contract is absence of panics, the error value is immaterial
 		case THelloAck:
 			var m HelloAck
-			_ = DecodeHelloAck(payload, &m)
+			_ = DecodeHelloAck(payload, &m) //figret:allow(errwire) fuzz contract is absence of panics, the error value is immaterial
 		case TSnapshot:
 			var m Snapshot
-			_ = DecodeSnapshot(payload, &m)
+			_ = DecodeSnapshot(payload, &m) //figret:allow(errwire) fuzz contract is absence of panics, the error value is immaterial
 		case TDecision:
 			var m Decision
-			_ = DecodeDecision(payload, &m)
+			_ = DecodeDecision(payload, &m) //figret:allow(errwire) fuzz contract is absence of panics, the error value is immaterial
 		case TDelta:
 			var m Delta
 			if DecodeDelta(payload, &m) == nil {
@@ -279,14 +279,14 @@ func FuzzDecodeFrame(f *testing.F) {
 				base.Ratios = []float64{0.5, 0.5, 1, 0, 0}
 				base.Seq = m.BaseSeq
 				base.Version = m.Version
-				_ = ApplyDelta(&base, &m, layout2, &out)
+				_ = ApplyDelta(&base, &m, layout2, &out) //figret:allow(errwire) fuzz contract is absence of panics, the error value is immaterial
 			}
 		case TFailures:
 			var m Failures
-			_ = DecodeFailures(payload, &m)
+			_ = DecodeFailures(payload, &m) //figret:allow(errwire) fuzz contract is absence of panics, the error value is immaterial
 		case TError:
 			var m ErrorMsg
-			_ = DecodeError(payload, &m)
+			_ = DecodeError(payload, &m) //figret:allow(errwire) fuzz contract is absence of panics, the error value is immaterial
 		}
 		var d Decoder
 		if _, _, err := d.ReadFrame(bytes.NewReader(data)); err == nil {

@@ -50,7 +50,7 @@ echo "e2e: booting served ($TOPO, api :$API_PORT, ops :$OPS_PORT)"
 served_pid=$!
 
 # Liveness must come up while the daemon is still bootstrapping.
-for i in $(seq 1 300); do
+for _ in $(seq 1 300); do
   [[ "$(code "$OPS/healthz")" == 200 ]] && break
   kill -0 "$served_pid" 2>/dev/null || fail "served exited during boot"
   sleep 0.1
@@ -67,7 +67,7 @@ grep -q "$TOPO" <<<"$readyz_body" || fail "readyz 503 body does not name the top
 echo "e2e: readyz correctly pending: $readyz_body"
 
 # Wait for the bootstrap checkpoint, then replay over both transports.
-for i in $(seq 1 600); do
+for _ in $(seq 1 600); do
   [[ "$(curl -s "$API/v1/topologies/$TOPO/routing" | grep -c '"version":[1-9]' || true)" -ge 1 ]] && break
   kill -0 "$served_pid" 2>/dev/null || fail "served exited during bootstrap"
   sleep 0.1
