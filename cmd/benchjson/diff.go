@@ -1,0 +1,243 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// tolerances are the per-metric multiplicative guard bands of diff mode.
+// ns/op and throughput bands are wide on purpose: CI runners and the
+// machines baselines are blessed on differ in clock, cache and load, so
+// the timing gate exists to catch order-of-magnitude regressions (an
+// accidental O(n²), a lost fast path) rather than percent-level drift.
+// Allocation counts are deterministic for a fixed build, so their band
+// is tight and catches a single added allocation in a zero-alloc path.
+type tolerances struct {
+	// ns fails when current ns/op exceeds baseline × ns.
+	ns float64
+	// bytes fails when current B/op exceeds baseline × bytes.
+	bytes float64
+	// allocs fails when current allocs/op exceeds baseline × allocs.
+	allocs float64
+	// rate fails when a higher-is-better "/s" metric falls below
+	// baseline ÷ rate.
+	rate float64
+}
+
+// diffRow is one metric comparison in the report table.
+type diffRow struct {
+	bench  string
+	metric string
+	base   float64
+	cur    float64
+	status string // ok | improved | REGRESSION | missing | new
+}
+
+// key addresses a benchmark across reports. Procs is part of the
+// identity: the same benchmark at different GOMAXPROCS is a different
+// measurement.
+func key(r *Result) string {
+	return fmt.Sprintf("%s %s-%d", r.Package, r.Name, r.Procs)
+}
+
+// diffResults compares current against baseline metric by metric. Every
+// baseline benchmark must still exist (a vanished benchmark is a
+// regression — deleting the measurement must not pass the gate);
+// benchmarks only in current are notes, to be picked up at the next
+// baseline bless.
+func diffResults(base, cur []*Result, tol tolerances) (rows []diffRow, regressions []string) {
+	curBy := make(map[string]*Result, len(cur))
+	for _, r := range cur {
+		curBy[key(r)] = r
+	}
+	reg := func(row diffRow) {
+		rows = append(rows, row)
+		regressions = append(regressions,
+			fmt.Sprintf("%s %s: baseline %s, current %s", row.bench, row.metric, num(row.base), num(row.cur)))
+	}
+	// lowerIsBetter gates one metric where smaller values win.
+	lowerIsBetter := func(bench, metric string, b, c, factor float64) {
+		row := diffRow{bench: bench, metric: metric, base: b, cur: c}
+		switch {
+		case c > b*factor:
+			row.status = "REGRESSION"
+			reg(row)
+			return
+		case b > 0 && c < b/factor:
+			row.status = "improved"
+		default:
+			row.status = "ok"
+		}
+		rows = append(rows, row)
+	}
+	for _, b := range base {
+		name := key(b)
+		c, ok := curBy[name]
+		if !ok {
+			reg(diffRow{bench: name, metric: "(all)", base: b.NsPerOp, status: "missing"})
+			continue
+		}
+		delete(curBy, name)
+		lowerIsBetter(name, "ns/op", b.NsPerOp, c.NsPerOp, tol.ns)
+		if b.AllocsPerOp != nil {
+			if c.AllocsPerOp == nil {
+				reg(diffRow{bench: name, metric: "allocs/op", base: float64(*b.AllocsPerOp), status: "missing"})
+			} else {
+				lowerIsBetter(name, "allocs/op", float64(*b.AllocsPerOp), float64(*c.AllocsPerOp), tol.allocs)
+			}
+		}
+		if b.BytesPerOp != nil && c.BytesPerOp != nil {
+			lowerIsBetter(name, "B/op", float64(*b.BytesPerOp), float64(*c.BytesPerOp), tol.bytes)
+		}
+		for _, unit := range extraUnits(b.Extra) {
+			bv := b.Extra[unit]
+			cv, has := c.Extra[unit]
+			if !strings.HasSuffix(unit, "/s") {
+				continue // only throughput extras are gated
+			}
+			row := diffRow{bench: name, metric: unit, base: bv, cur: cv}
+			switch {
+			case !has || cv < bv/tol.rate:
+				row.status = "REGRESSION"
+				reg(row)
+				continue
+			case cv > bv*tol.rate:
+				row.status = "improved"
+			default:
+				row.status = "ok"
+			}
+			rows = append(rows, row)
+		}
+	}
+	// Benchmarks without a baseline: informational, never a failure.
+	for _, r := range cur {
+		if _, still := curBy[key(r)]; still {
+			rows = append(rows, diffRow{bench: key(r), metric: "ns/op", cur: r.NsPerOp, status: "new"})
+		}
+	}
+	return rows, regressions
+}
+
+// extraUnits returns a map's units in sorted order, so report rows are
+// deterministic.
+func extraUnits(m map[string]float64) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
+}
+
+// num renders a metric value compactly.
+func num(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// markdownTable renders the comparison as a GitHub-flavored markdown
+// table (the $GITHUB_STEP_SUMMARY format).
+func markdownTable(rows []diffRow) string {
+	var sb strings.Builder
+	sb.WriteString("### Benchmark comparison\n\n")
+	sb.WriteString("| benchmark | metric | baseline | current | ratio | status |\n")
+	sb.WriteString("|---|---|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		ratio := "–"
+		if r.base > 0 && r.cur > 0 {
+			ratio = strconv.FormatFloat(r.cur/r.base, 'f', 2, 64) + "×"
+		}
+		baseS, curS := num(r.base), num(r.cur)
+		if r.status == "new" {
+			baseS = "–"
+		}
+		if r.status == "missing" {
+			curS = "–"
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s | %s |\n", r.bench, r.metric, baseS, curS, ratio, r.status)
+	}
+	return sb.String()
+}
+
+// loadReport reads a benchjson report file (the convert-mode output).
+func loadReport(path string) ([]*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []*Result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("%s: empty benchmark report", path)
+	}
+	return rs, nil
+}
+
+// runDiff is the `benchjson diff` entrypoint: compare a current report
+// against the blessed baseline, print the markdown table, optionally
+// append it to a summary file, and exit non-zero on any regression.
+func runDiff(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	var (
+		baseline = fs.String("baseline", "BENCH_baseline.json", "blessed baseline report (benchjson convert output)")
+		current  = fs.String("current", "", "report to gate against the baseline")
+		summary  = fs.String("summary", "", "append the markdown table to this file (e.g. $GITHUB_STEP_SUMMARY); empty skips")
+		nsTol    = fs.Float64("nstol", 4, "ns/op guard band: fail beyond baseline×nstol (wide: baselines cross machines)")
+		byTol    = fs.Float64("bytestol", 1.5, "B/op guard band: fail beyond baseline×bytestol")
+		alTol    = fs.Float64("allocstol", 1.25, "allocs/op guard band: fail beyond baseline×allocstol (allocation counts are deterministic)")
+		rateTol  = fs.Float64("ratetol", 4, "higher-is-better \"/s\" guard band: fail below baseline÷ratetol")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchjson diff: -current is required")
+		return 2
+	}
+	base, err := loadReport(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson diff:", err)
+		return 1
+	}
+	cur, err := loadReport(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson diff:", err)
+		return 1
+	}
+	rows, regressions := diffResults(base, cur, tolerances{ns: *nsTol, bytes: *byTol, allocs: *alTol, rate: *rateTol})
+	table := markdownTable(rows)
+	fmt.Print(table)
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson diff:", err)
+			return 1
+		}
+		if _, err := f.WriteString(table); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson diff:", err)
+			return 1
+		}
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson diff: %d regression(s) beyond tolerance:\n", len(regressions))
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		return 1
+	}
+	return 0
+}

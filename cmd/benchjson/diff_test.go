@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func i64(v int64) *int64 { return &v }
+
+func baselineFixture() []*Result {
+	return []*Result{
+		{Name: "BenchmarkA", Package: "p", Procs: 8, NsPerOp: 1000,
+			BytesPerOp: i64(256), AllocsPerOp: i64(4)},
+		{Name: "BenchmarkB", Package: "p", Procs: 8, NsPerOp: 5000,
+			Extra: map[string]float64{"decisions/s": 200000}},
+	}
+}
+
+var defaultTol = tolerances{ns: 4, bytes: 1.5, allocs: 1.25, rate: 4}
+
+// A report diffed against itself must gate clean: every row ok, no
+// regressions — the baseline always passes its own gate.
+func TestDiffSelfClean(t *testing.T) {
+	rows, regs := diffResults(baselineFixture(), baselineFixture(), defaultTol)
+	if len(regs) != 0 {
+		t.Fatalf("self-diff regressed: %v", regs)
+	}
+	for _, r := range rows {
+		if r.status != "ok" {
+			t.Fatalf("self-diff row not ok: %+v", r)
+		}
+	}
+}
+
+// Within-band drift (timing 2× on a 4× band, one extra alloc inside
+// 1.25× of 4) passes; improvements are labeled, not failed.
+func TestDiffWithinTolerance(t *testing.T) {
+	cur := baselineFixture()
+	cur[0].NsPerOp = 2000       // 2× < 4× band
+	cur[0].AllocsPerOp = i64(5) // 1.25× exactly, not beyond
+	cur[1].NsPerOp = 900        // > 4× faster: improved
+	rows, regs := diffResults(baselineFixture(), cur, defaultTol)
+	if len(regs) != 0 {
+		t.Fatalf("within-tolerance drift regressed: %v", regs)
+	}
+	improved := false
+	for _, r := range rows {
+		if r.bench == "p BenchmarkB-8" && r.metric == "ns/op" {
+			improved = r.status == "improved"
+		}
+	}
+	if !improved {
+		t.Fatal("large speedup not labeled improved")
+	}
+}
+
+// Beyond-band regressions fail the gate: a 5× timing cliff, an alloc
+// count past its tight band, and a throughput collapse each produce a
+// REGRESSION row and a non-empty regression list.
+func TestDiffRegressionsFail(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func([]*Result)
+		metric string
+	}{
+		{"ns", func(c []*Result) { c[0].NsPerOp = 5000 }, "ns/op"},
+		{"allocs", func(c []*Result) { c[0].AllocsPerOp = i64(6) }, "allocs/op"},
+		{"rate", func(c []*Result) { c[1].Extra["decisions/s"] = 10000 }, "decisions/s"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := baselineFixture()
+			tc.mutate(cur)
+			rows, regs := diffResults(baselineFixture(), cur, defaultTol)
+			if len(regs) != 1 {
+				t.Fatalf("want 1 regression, got %v", regs)
+			}
+			found := false
+			for _, r := range rows {
+				if r.metric == tc.metric && r.status == "REGRESSION" {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no REGRESSION row for %s: %+v", tc.metric, rows)
+			}
+		})
+	}
+}
+
+// A benchmark that vanishes from the current report is a regression
+// (deleting the measurement must not pass the gate); a brand-new one is
+// a note, never a failure.
+func TestDiffMissingAndNew(t *testing.T) {
+	cur := baselineFixture()[:1]
+	cur = append(cur, &Result{Name: "BenchmarkC", Package: "p", Procs: 8, NsPerOp: 77})
+	rows, regs := diffResults(baselineFixture(), cur, defaultTol)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkB") {
+		t.Fatalf("missing benchmark not a regression: %v", regs)
+	}
+	var missing, isNew bool
+	for _, r := range rows {
+		if r.status == "missing" && strings.Contains(r.bench, "BenchmarkB") {
+			missing = true
+		}
+		if r.status == "new" && strings.Contains(r.bench, "BenchmarkC") {
+			isNew = true
+		}
+	}
+	if !missing || !isNew {
+		t.Fatalf("missing=%v new=%v in %+v", missing, isNew, rows)
+	}
+}
+
+// A zero-alloc baseline is a contract: any allocation in the current
+// report fails, since 0 × any band is still 0.
+func TestDiffZeroAllocContract(t *testing.T) {
+	base := []*Result{{Name: "BenchmarkZ", Package: "p", Procs: 1, NsPerOp: 10, AllocsPerOp: i64(0)}}
+	cur := []*Result{{Name: "BenchmarkZ", Package: "p", Procs: 1, NsPerOp: 10, AllocsPerOp: i64(1)}}
+	if _, regs := diffResults(base, cur, defaultTol); len(regs) != 1 {
+		t.Fatalf("0→1 allocs passed the gate: %v", regs)
+	}
+}
+
+// End-to-end through runDiff: exit codes and the markdown summary file.
+func TestRunDiffEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rs []*Result) string {
+		p := filepath.Join(dir, name)
+		data, err := json.MarshalIndent(rs, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := write("base.json", baselineFixture())
+	same := write("same.json", baselineFixture())
+	bad := baselineFixture()
+	bad[0].NsPerOp = 1e6
+	regressed := write("bad.json", bad)
+	summary := filepath.Join(dir, "summary.md")
+
+	if code := runDiff([]string{"-baseline", base, "-current", same, "-summary", summary}); code != 0 {
+		t.Fatalf("clean diff exited %d", code)
+	}
+	if code := runDiff([]string{"-baseline", base, "-current", regressed, "-summary", summary}); code == 0 {
+		t.Fatal("regressed diff exited 0")
+	}
+	md, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "| benchmark | metric |") ||
+		!strings.Contains(string(md), "REGRESSION") {
+		t.Fatalf("summary file missing table or regression marker:\n%s", md)
+	}
+}

@@ -19,6 +19,19 @@
 // benchjson exits non-zero when the stream contains a
 // failing test action or no benchmark results at all — an empty report
 // would otherwise read as "no regressions".
+//
+// The diff subcommand gates a fresh report against a blessed baseline:
+//
+//	benchjson diff -baseline BENCH_baseline.json -current BENCH_scenarios.json \
+//	    -summary "$GITHUB_STEP_SUMMARY"
+//
+// It prints a markdown comparison table (and appends it to -summary when
+// set) and exits non-zero when any metric regresses beyond its per-metric
+// tolerance: ns/op and "/s" throughput have wide bands (CI timing at
+// -benchtime=1x is noisy; the gate catches order-of-magnitude cliffs),
+// while allocs/op and B/op are tight (near-deterministic). Benchmarks
+// present in the baseline but missing from the current report fail the
+// gate; new benchmarks are reported as notes until the next bless.
 package main
 
 import (
@@ -177,6 +190,9 @@ func parse(in io.Reader) (results []*Result, failed bool, err error) {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:]))
+	}
 	results, failed, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

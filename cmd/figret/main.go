@@ -9,6 +9,17 @@
 //	figret train    -topo pod-db -T 200 -gamma 1 -epochs 10 -out model.json
 //	figret eval     -topo pod-db -T 200 -model model.json
 //	figret simulate -topo pod-db -delay 2
+//	figret convert  -in trace.csv -n 20 -out trace.fgt
+//
+// Traces read and write in three formats, picked by file extension: .json
+// (dense snapshot arrays), .csv (sparse t,src,dst,demand rows), and .fgt —
+// the memory-mapped columnar store of internal/tracestore, the format for
+// traces bigger than RAM. gen writes whichever the -out extension names,
+// and convert translates between any pair. -tracecache names a directory
+// of .fgt files shared with scenarios/served: each (topology, T, seed)
+// trace is generated once, then every later run memory-maps it:
+//
+//	figret train -topo cogentco -scale full -tracecache ~/.cache/figret-traces -out model.json
 //
 // Candidate-path precomputation fans out across all CPUs by default
 // (-pathworkers pins the pool size; results are bitwise identical for any
@@ -32,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"figret/internal/baselines"
 	"figret/internal/eval"
@@ -39,6 +51,8 @@ import (
 	"figret/internal/figret"
 	"figret/internal/netsim"
 	"figret/internal/te"
+	"figret/internal/tracestore"
+	"figret/internal/traffic"
 )
 
 func main() {
@@ -57,12 +71,15 @@ func main() {
 		epochs = fs.Int("epochs", 10, "training epochs")
 		batch  = fs.Int("batch", 1, "training minibatch size (1 = the paper's per-sample protocol; larger batches train faster)")
 		seed   = fs.Int64("seed", 1, "random seed")
-		out    = fs.String("out", "", "output file (gen/train)")
+		out    = fs.String("out", "", "output file (gen/train/convert); gen and convert pick the trace format from the extension: .json, .csv or .fgt")
 		model  = fs.String("model", "", "model file (eval)")
 		delay  = fs.Int("delay", 1, "controller installation delay in intervals (simulate)")
+		in     = fs.String("in", "", "input trace file (convert); format picked from the extension: .json, .csv or .fgt")
+		nVerts = fs.Int("n", 0, "vertex count of a .csv input trace (convert; the sparse CSV format does not carry it)")
 
 		pathCache   = fs.String("pathcache", "", "directory of the on-disk candidate-path cache (shared across figret/experiments/served runs; empty = recompute every run)")
 		pathWorkers = fs.Int("pathworkers", 0, "candidate-path precomputation worker pool size (0 = all CPUs); the path set is bitwise identical for any value")
+		traceCache  = fs.String("tracecache", "", "directory of the on-disk columnar trace store shared across figret/scenarios/served runs; traces are generated once, then memory-mapped (empty = regenerate in RAM)")
 
 		trainWorkers = fs.Int("trainworkers", 0, "training worker pool size (0 = all CPUs); the loss trajectory and trained weights are bitwise identical for any value")
 		macroBatch   = fs.Int("macrobatch", 1, "micro-batches accumulated per optimizer step (gradient accumulation; effective batch = batch*macrobatch)")
@@ -74,7 +91,7 @@ func main() {
 	if *scale == "full" {
 		sc = experiments.ScaleFull
 	}
-	paths := pathOptions{cache: *pathCache, workers: *pathWorkers}
+	paths := pathOptions{cache: *pathCache, workers: *pathWorkers, traceCache: *traceCache}
 	train := trainOptions{workers: *trainWorkers, macro: *macroBatch}
 
 	var err error
@@ -89,6 +106,8 @@ func main() {
 		err = runEval(*topo, sc, *T, *H, *seed, *model, paths)
 	case "simulate":
 		err = runSimulate(*topo, sc, *T, *H, *gamma, *epochs, *batch, *seed, *delay, paths, train)
+	case "convert":
+		err = runConvert(*in, *out, *nVerts)
 	default:
 		usage()
 		os.Exit(2)
@@ -99,10 +118,12 @@ func main() {
 	}
 }
 
-// pathOptions carries the candidate-path precomputation flags.
+// pathOptions carries the precomputation-cache flags: the candidate-path
+// cache and the memory-mapped trace cache.
 type pathOptions struct {
-	cache   string
-	workers int
+	cache      string
+	workers    int
+	traceCache string
 }
 
 // trainOptions carries the data-parallel training flags. Both knobs are
@@ -114,17 +135,19 @@ type trainOptions struct {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: figret <topo|gen|train|eval|simulate> [flags]
+	fmt.Fprintln(os.Stderr, `usage: figret <topo|gen|train|eval|simulate|convert> [flags]
   topo      print topology statistics
-  gen       generate a synthetic trace (JSON)
+  gen       generate a synthetic trace (.json, .csv or .fgt by -out extension)
   train     train a FIGRET model and save it (JSON)
   eval      evaluate a trained model against DOTE/omniscient
-  simulate  run the fluid control-loop simulation with controller delay`)
+  simulate  run the fluid control-loop simulation with controller delay
+  convert   translate a trace between .json, .csv and .fgt (memory-mapped store)`)
 }
 
 func buildEnv(topo string, sc experiments.Scale, T int, seed int64, paths pathOptions) (*experiments.Env, error) {
 	return experiments.NewEnv(topo, sc, experiments.EnvOptions{
 		T: T, Seed: seed, PathCache: paths.cache, PathWorkers: paths.workers,
+		TraceCache: paths.traceCache,
 	})
 }
 
@@ -166,14 +189,99 @@ func runGen(topo string, sc experiments.Scale, T int, seed int64, out string, pa
 	if err != nil {
 		return err
 	}
-	data, err := json.Marshal(traceJSON{N: env.G.NumVertices(), Snapshots: env.Trace.Snapshots})
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(out, data, 0o644); err != nil {
+	if err := writeTraceFile(out, env.Trace); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %d snapshots (%d pairs) to %s\n", env.Trace.Len(), env.Trace.Pairs.Count(), out)
+	return nil
+}
+
+// readTraceFile loads a trace in the format named by path's extension.
+// n is required only for .csv, whose sparse rows don't carry the vertex
+// count. The returned closer releases a .fgt file's memory mapping and
+// must be called after the trace's last use; for the other formats it is
+// a no-op.
+func readTraceFile(path string, n int) (*traffic.Trace, func() error, error) {
+	noop := func() error { return nil }
+	switch ext := filepath.Ext(path); ext {
+	case ".json":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		tr := new(traffic.Trace)
+		if err := json.Unmarshal(data, tr); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return tr, noop, nil
+	case ".csv":
+		if n == 0 {
+			return nil, nil, fmt.Errorf("reading %s requires -n (CSV does not carry the vertex count)", path)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		tr, err := traffic.ReadCSV(f, n)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return tr, noop, nil
+	case ".fgt":
+		tr, r, err := tracestore.Load(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return tr, r.Close, nil
+	default:
+		return nil, nil, fmt.Errorf("%s: unknown trace extension %q (want .json, .csv or .fgt)", path, ext)
+	}
+}
+
+// writeTraceFile writes a trace in the format named by path's extension.
+func writeTraceFile(path string, tr *traffic.Trace) error {
+	switch ext := filepath.Ext(path); ext {
+	case ".json":
+		data, err := json.Marshal(tr)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, data, 0o644)
+	case ".csv":
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	case ".fgt":
+		return tracestore.WriteTrace(path, tr, tracestore.Options{})
+	default:
+		return fmt.Errorf("%s: unknown trace extension %q (want .json, .csv or .fgt)", path, ext)
+	}
+}
+
+// runConvert translates a trace between the three on-disk formats.
+// Demand values survive every direction bitwise: JSON floats round-trip
+// through strconv, CSV rows use 'g' formatting with full precision, and
+// the store serializes raw Float64bits.
+func runConvert(in, out string, n int) error {
+	if in == "" || out == "" {
+		return fmt.Errorf("convert requires -in and -out")
+	}
+	tr, closer, err := readTraceFile(in, n)
+	if err != nil {
+		return err
+	}
+	defer closer()
+	if err := writeTraceFile(out, tr); err != nil {
+		return err
+	}
+	fmt.Printf("converted %d snapshots (%d pairs): %s -> %s\n", tr.Len(), tr.Pairs.Count(), in, out)
 	return nil
 }
 

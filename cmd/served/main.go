@@ -81,6 +81,7 @@ import (
 	"figret/internal/obs"
 	"figret/internal/serve"
 	"figret/internal/te"
+	"figret/internal/tracestore"
 )
 
 func main() {
@@ -107,6 +108,8 @@ func main() {
 
 		pathCache   = flag.String("pathcache", "", "directory of the on-disk candidate-path cache; a warm cache brings multi-topology daemons up in seconds instead of re-running Yen per process")
 		pathWorkers = flag.Int("pathworkers", 0, "candidate-path precomputation worker pool size (0 = all CPUs); the path set is bitwise identical for any value")
+		traceCache  = flag.String("tracecache", "", "directory of the on-disk columnar trace store shared with figret/scenarios; bootstrap traces are generated once, then memory-mapped")
+		spool       = flag.String("spool", "", "directory where each controller spools every ingested snapshot to an on-disk trace store (<dir>/<topology>.fgt); the in-RAM window stays bounded by -history, and a restarted daemon recovers the spool and resumes where it stopped")
 
 		trainWorkers = flag.Int("trainworkers", 0, "worker pool size for bootstrap and drift retraining (0 = all CPUs); trained weights are bitwise identical for any value")
 
@@ -183,12 +186,18 @@ func main() {
 	if *pathCache != "" {
 		tel.RegisterCacheStats("paths", "", te.PathCacheStats)
 	}
+	if *traceCache != "" {
+		tel.RegisterCacheStats("traces", "", experiments.TraceCacheStats)
+	}
+	if *traceCache != "" || *spool != "" {
+		registerTracestoreMetrics(metrics)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	for _, topo := range expected {
-		if err := addTopology(logger, tel, srv, reg, topo, sc, *bootstrap, *T, *H, *gamma, *epochs, *batch, *seed, *history, *churn, *drift, *pathCache, *pathWorkers, *trainWorkers); err != nil {
+		if err := addTopology(logger, tel, srv, reg, topo, sc, *bootstrap, *T, *H, *gamma, *epochs, *batch, *seed, *history, *churn, *drift, *pathCache, *traceCache, *spool, *pathWorkers, *trainWorkers); err != nil {
 			logger.Error("topology bootstrap failed", "topology", topo, "err", err)
 			os.Exit(1)
 		}
@@ -224,6 +233,27 @@ func main() {
 		}
 	}
 	logger.Info("shutdown complete")
+}
+
+// registerTracestoreMetrics exports the process-wide trace-store
+// counters (shared by the trace cache and the ingest spools) as
+// scrape-time Prometheus counters.
+func registerTracestoreMetrics(reg *obs.Registry) {
+	reg.CounterFunc("figret_tracestore_blocks_written_total",
+		"Trace-store block writes, including tail-block rewrites.",
+		func() float64 { return float64(tracestore.Stats().BlocksWritten) })
+	reg.CounterFunc("figret_tracestore_bytes_written_total",
+		"Bytes handed to the OS by trace-store block writes.",
+		func() float64 { return float64(tracestore.Stats().BytesWritten) })
+	reg.CounterFunc("figret_tracestore_blocks_verified_total",
+		"Trace-store blocks whose payload checksum was validated.",
+		func() float64 { return float64(tracestore.Stats().BlocksVerified) })
+	reg.CounterFunc("figret_tracestore_bytes_mapped_total",
+		"Bytes memory-mapped (or heap-loaded) by trace-store readers.",
+		func() float64 { return float64(tracestore.Stats().BytesMapped) })
+	reg.CounterFunc("figret_tracestore_opens_total",
+		"Successfully-opened trace-store readers.",
+		func() float64 { return float64(tracestore.Stats().Opens) })
 }
 
 // envOr returns the environment value when set, else def.
@@ -329,9 +359,10 @@ func runDrive(logger *slog.Logger, baseURL, topo, transport string, sc experimen
 
 func addTopology(logger *slog.Logger, tel *serve.Telemetry, srv *serve.Server, reg *serve.Registry, topo string, sc experiments.Scale,
 	bootstrap bool, T, H int, gamma float64, epochs, batch int, seed int64,
-	history int, churn float64, drift bool, pathCache string, pathWorkers, trainWorkers int) error {
+	history int, churn float64, drift bool, pathCache, traceCache, spool string, pathWorkers, trainWorkers int) error {
 	env, err := experiments.NewEnv(topo, sc, experiments.EnvOptions{
 		T: T, Seed: seed, PathCache: pathCache, PathWorkers: pathWorkers,
+		TraceCache: traceCache,
 	})
 	if err != nil {
 		return err
@@ -339,7 +370,7 @@ func addTopology(logger *slog.Logger, tel *serve.Telemetry, srv *serve.Server, r
 	if err := reg.AddTopology(topo, env.PS); err != nil {
 		return err
 	}
-	opt := serve.ControllerOptions{HistoryCap: history, MaxChurn: churn}
+	opt := serve.ControllerOptions{HistoryCap: history, MaxChurn: churn, Spool: spool}
 	if drift {
 		// Shadow evaluations normalize against the environment's memoized
 		// omniscient oracle; solves run in the background and are shared

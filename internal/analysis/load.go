@@ -219,7 +219,11 @@ func (l *Loader) LoadDir(dir, path string) ([]*Package, error) {
 }
 
 // parseDir parses every .go file of dir into production, in-package test
-// and external-test file groups, each in filename order.
+// and external-test file groups, each in filename order. Files are
+// filtered through the host build context (//go:build lines and
+// GOOS/GOARCH filename suffixes), so platform-gated pairs — e.g. the
+// tracestore's mmap_unix.go / mmap_other.go — contribute exactly the
+// declarations `go build` would compile here, not both halves at once.
 func (l *Loader) parseDir(dir string) (prod, intest, extest []*ast.File, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -227,7 +231,14 @@ func (l *Loader) parseDir(dir string) (prod, intest, extest []*ast.File, err err
 	}
 	var names []string
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		match, err := build.Default.MatchFile(dir, e.Name())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if match {
 			names = append(names, e.Name())
 		}
 	}

@@ -5,8 +5,10 @@ import "strings"
 // Deterministic packages: everything whose outputs are covered by a
 // bitwise contract — training and inference (nn, figret), the TE
 // substrate and solver, the evaluation engine, the scenario matrix with
-// its CRC-sealed goldens, and the wire codec whose frames must encode
-// identically on every run.
+// its CRC-sealed goldens, the wire codec whose frames must encode
+// identically on every run, and the trace store whose writer must emit
+// byte-identical files for identical traces (the fuzz seed corpus is
+// pinned to its output).
 var detPackages = []string{
 	"figret/internal/nn",
 	"figret/internal/te",
@@ -15,6 +17,7 @@ var detPackages = []string{
 	"figret/internal/eval",
 	"figret/internal/scenario",
 	"figret/internal/wire",
+	"figret/internal/tracestore",
 }
 
 // Instrument types under the §12 nil-receiver contract. obs.Span is
@@ -25,11 +28,16 @@ var nilRecvTargets = map[string][]string{
 	"figret/internal/serve": {"Telemetry", "StreamTelemetry"},
 }
 
-// View-returning functions under the PR 3 aliasing contract.
+// View-returning functions under the PR 3 aliasing contract. The
+// tracestore reader's Trace and At return windows into the mmap'd file
+// (capacity-clipped, but still aliases of the mapping), so call sites
+// must not retain them past the reader's Close.
 var viewFuncs = []ViewFunc{
 	{Pkg: "figret/internal/traffic", Recv: "Trace", Name: "Slice", Fields: []string{"Snapshots"}},
 	{Pkg: "figret/internal/traffic", Recv: "Trace", Name: "WindowInto"},
 	{Pkg: "figret/internal/nn", Recv: "MLP", Name: "GradView"},
+	{Pkg: "figret/internal/tracestore", Recv: "Reader", Name: "Trace", Fields: []string{"Snapshots"}},
+	{Pkg: "figret/internal/tracestore", Recv: "Reader", Name: "At"},
 }
 
 // wirePackage is the binary codec whose errors must never be discarded.

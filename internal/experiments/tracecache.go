@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"figret/internal/tracestore"
+	"figret/internal/traffic"
+)
+
+var traceCacheHits, traceCacheMisses atomic.Uint64
+
+// TraceCacheStats returns the process-wide trace-cache load totals: hits
+// (environments whose trace was memory-mapped from an existing store
+// file) and misses (generated, spooled to disk, then reloaded). Package-
+// level for the same reason as te.PathCacheStats: every environment in a
+// process shares the counters, and cmd/served exports them as gauges.
+func TraceCacheStats() (hits, misses uint64) {
+	return traceCacheHits.Load(), traceCacheMisses.Load()
+}
+
+// traceCachePath names the store file for one generated trace. The key
+// is the full input of traffic.ForTopology — topology name, vertex
+// count, length, seed — so distinct workloads never collide; the store
+// format's own magic/version guards against foreign files.
+func traceCachePath(dir, topo string, n, T int, seed int64) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, topo)
+	return filepath.Join(dir, fmt.Sprintf("trace_%s_n%d_T%d_s%d.fgt", safe, n, T, seed))
+}
+
+// traceFromCache returns the topology's generated trace via an on-disk
+// tracestore: a valid cache entry is memory-mapped directly; otherwise
+// the trace is generated, written (atomic temp+rename), and reloaded
+// from the written file. Reloading on miss — rather than returning the
+// freshly generated heap trace — makes cold and warm runs serve bytes
+// through the identical mmap-backed path, so enabling the cache can
+// never change results between the first run and the second. Corrupt,
+// truncated or foreign-version entries count as misses and are
+// regenerated, mirroring te.PathStore.
+//
+// The returned Reader owns the mapping; it must stay reachable while the
+// trace's snapshot views are in use, and Close unmaps them.
+func traceFromCache(dir, topo string, n, T int, seed int64) (*traffic.Trace, *tracestore.Reader, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("experiments: trace cache: %w", err)
+	}
+	path := traceCachePath(dir, topo, n, T, seed)
+	if tr, r, err := tracestore.Load(path); err == nil {
+		if tr.Pairs.N() == n && tr.Len() == T {
+			traceCacheHits.Add(1)
+			return tr, r, nil
+		}
+		// A well-formed store with the wrong geometry under this key means
+		// a hand-edited or colliding file: a miss, not a fault.
+		r.Close()
+	} else if !errors.Is(err, os.ErrNotExist) && !tracestore.IsFormatError(err) {
+		// I/O faults (permissions, unreadable disk) are real errors;
+		// format damage is a miss and gets overwritten below.
+		return nil, nil, err
+	}
+	traceCacheMisses.Add(1)
+	gen, err := traffic.ForTopology(topo, n, T, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := tracestore.WriteTrace(path, gen, tracestore.Options{}); err != nil {
+		return nil, nil, err
+	}
+	tr, r, err := tracestore.Load(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, r, nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTraceCacheBitwiseIdentity is the acceptance bar for routing
+// environment traces through the memory-mapped store: the trace —
+// post-calibration, split into train/test — must be bitwise identical
+// whether the cache is off, cold (generate → spool → reload) or warm
+// (mmap of the file the cold run wrote).
+func TestTraceCacheBitwiseIdentity(t *testing.T) {
+	dir := t.TempDir()
+	build := func(cache string) *Env {
+		env, err := NewEnv("geant", ScaleFast, EnvOptions{T: 24, Seed: 3, TraceCache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return env
+	}
+	plain := build("")
+	cold := build(dir)
+	warm := build(dir)
+	defer cold.Close()
+	defer warm.Close()
+
+	for _, c := range []struct {
+		name string
+		env  *Env
+	}{{"cold", cold}, {"warm", warm}} {
+		if c.env.Trace.Len() != plain.Trace.Len() || c.env.TestStart != plain.TestStart {
+			t.Fatalf("%s: shape mismatch: len %d vs %d, test start %d vs %d",
+				c.name, c.env.Trace.Len(), plain.Trace.Len(), c.env.TestStart, plain.TestStart)
+		}
+		for i := 0; i < plain.Trace.Len(); i++ {
+			a, b := plain.Trace.At(i), c.env.Trace.At(i)
+			for j := range a {
+				if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+					t.Fatalf("%s: snapshot %d entry %d: %x vs %x",
+						c.name, i, j, math.Float64bits(a[j]), math.Float64bits(b[j]))
+				}
+			}
+		}
+	}
+
+	hits, misses := TraceCacheStats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("cache counters did not move: hits %d, misses %d", hits, misses)
+	}
+}
+
+// TestTraceCacheCorruptEntryRegenerates: a damaged cache file is a miss
+// (regenerated and overwritten), never a fatal error — the PathStore
+// contract.
+func TestTraceCacheCorruptEntryRegenerates(t *testing.T) {
+	dir := t.TempDir()
+	plain, err := NewEnv("geant", ScaleFast, EnvOptions{T: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := NewEnv("geant", ScaleFast, EnvOptions{T: 8, Seed: 5, TraceCache: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded.Close()
+	entries, err := filepath.Glob(filepath.Join(dir, "*.fgt"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want one cache entry, got %v (%v)", entries, err)
+	}
+	data, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4096+64+3] ^= 0x40 // flip a bit inside the first block's checksummed payload
+	if err := os.WriteFile(entries[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	env2, err := NewEnv("geant", ScaleFast, EnvOptions{T: 8, Seed: 5, TraceCache: dir})
+	if err != nil {
+		t.Fatalf("corrupt cache entry was fatal: %v", err)
+	}
+	defer env2.Close()
+	for i := 0; i < plain.Trace.Len(); i++ {
+		a, b := plain.Trace.At(i), env2.Trace.At(i)
+		for j := range a {
+			if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+				t.Fatalf("regenerated trace diverged at snapshot %d entry %d", i, j)
+			}
+		}
+	}
+}

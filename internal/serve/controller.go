@@ -3,6 +3,8 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +13,7 @@ import (
 	"figret/internal/figret"
 	"figret/internal/obs"
 	"figret/internal/te"
+	"figret/internal/tracestore"
 	"figret/internal/traffic"
 )
 
@@ -131,6 +134,17 @@ type ControllerOptions struct {
 	// observes decisions; it never alters them — replays with and
 	// without it are bitwise identical.
 	Telemetry *Telemetry
+	// Spool, when non-empty, is a directory where every ingested snapshot
+	// is appended to an on-disk trace store (<dir>/<topo>.fgt) as it
+	// arrives. The in-RAM window stays bounded by HistoryCap regardless —
+	// the spool is the durable full history it spills to. On restart the
+	// controller recovers the spool (truncating any torn tail), preloads
+	// the most recent HistoryCap snapshots into the window, and resumes
+	// absolute snapshot numbering where the previous process stopped, so
+	// replayed decision sequences continue rather than restart. A spool
+	// append failure disables spooling for the controller's lifetime
+	// (counted in telemetry) instead of failing the decision path.
+	Spool string
 }
 
 func (o ControllerOptions) withDefaults() ControllerOptions {
@@ -183,6 +197,7 @@ type Controller struct {
 	tel      *topoTelemetry
 
 	// Goroutine-owned state below (never touched outside run).
+	spool      *tracestore.Writer // nil when spooling is off or failed
 	history    *traffic.Trace
 	nSnapshots int64 // absolute count of ingested snapshots
 	seq        int64
@@ -224,6 +239,11 @@ func NewController(topo string, reg *Registry, opt ControllerOptions) (*Controll
 		tel:     opt.Telemetry.topo(topo),
 		history: traffic.NewTrace(ps.Pairs.N()),
 	}
+	if opt.Spool != "" {
+		if err := c.openSpool(); err != nil {
+			return nil, err
+		}
+	}
 	// Bootstrap fallback: routing reads always answer, even before the
 	// first snapshot or checkpoint, with the maximal-hedging uniform
 	// split.
@@ -231,6 +251,75 @@ func NewController(topo string, reg *Registry, opt ControllerOptions) (*Controll
 	c.publish(&Decision{Seq: 0, Snapshot: -1, Version: 0, Config: c.base, At: time.Now()})
 	go c.run()
 	return c, nil
+}
+
+// openSpool opens — recovering, when the previous process crashed — the
+// controller's on-disk ingest spool and warm-starts the in-RAM window
+// from its tail: the newest HistoryCap snapshots are copied out of the
+// memory-mapped store, and absolute snapshot numbering resumes at the
+// spool's durable length. Runs before the controller goroutine starts,
+// so it may touch goroutine-owned state.
+func (c *Controller) openSpool() error {
+	fail := func(err error) error { return fmt.Errorf("serve: %s spool: %w", c.topo, err) }
+	if err := os.MkdirAll(c.opt.Spool, 0o755); err != nil {
+		return fail(err)
+	}
+	path := filepath.Join(c.opt.Spool, c.topo+".fgt")
+	w, err := tracestore.OpenAppend(path, c.ps.Pairs.N(), tracestore.Options{})
+	if err != nil {
+		return fail(err)
+	}
+	if w.Len() > 0 {
+		// OpenAppend leaves exactly its durable snapshots on disk (torn
+		// tails are truncated), so a fresh reader sees the same history the
+		// writer will extend.
+		r, err := tracestore.Open(path)
+		if err != nil {
+			w.Close()
+			return fail(err)
+		}
+		from := r.Len() - int64(c.opt.HistoryCap)
+		if from < 0 {
+			from = 0
+		}
+		for i := from; i < r.Len(); i++ {
+			s, err := r.At(i)
+			if err != nil {
+				r.Close()
+				w.Close()
+				return fail(err)
+			}
+			c.history.Append(s) // copies out of the mapping
+		}
+		if err := r.Close(); err != nil {
+			w.Close()
+			return fail(err)
+		}
+		c.nSnapshots = w.Len()
+	}
+	c.spool = w
+	c.tel.spool(w.DurableBytes())
+	return nil
+}
+
+// spoolSnapshot lands one ingested snapshot in the spool. The decision
+// path never fails on spool errors: the first failure counts in
+// telemetry and turns spooling off for this controller's lifetime.
+func (c *Controller) spoolSnapshot(demand []float64) {
+	if c.spool == nil {
+		return
+	}
+	err := c.spool.Append(demand)
+	if err == nil {
+		err = c.spool.Flush()
+	}
+	if err != nil {
+		c.tel.spoolError()
+		c.spool.Close()
+		c.spool = nil
+		return
+	}
+	c.tel.spool(c.spool.DurableBytes())
 }
 
 // Topology returns the served topology name.
@@ -314,6 +403,11 @@ func (c *Controller) ReportFailures(links [][2]int) error {
 // the batch.
 func (c *Controller) run() {
 	defer close(c.done)
+	defer func() {
+		if c.spool != nil {
+			c.spool.Close()
+		}
+	}()
 	for {
 		select {
 		case <-c.stop:
@@ -380,6 +474,7 @@ func (c *Controller) handleSnapshot(m ctrlMsg, last bool) {
 	if over := c.history.Len() - c.opt.HistoryCap; over > 0 {
 		c.history.Snapshots = c.history.Snapshots[over:]
 	}
+	c.spoolSnapshot(m.demand)
 	c.observeDrift(m.demand)
 	m.span.Mark(stageWindow)
 

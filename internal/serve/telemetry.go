@@ -129,6 +129,8 @@ type topoTelemetry struct {
 	retrains     map[string]*obs.Counter // outcome → counter
 	latency      *obs.Histogram
 	tracer       *obs.Tracer
+	spoolBytes   *obs.Gauge
+	spoolErrors  *obs.Counter
 
 	reg  *obs.Registry
 	topo string
@@ -166,6 +168,10 @@ func (t *Telemetry) topo(name string) *topoTelemetry {
 		rollbacks: reg.Counter("figret_serve_rollbacks_total",
 			"Checkpoint rollbacks.", l),
 		retrains: make(map[string]*obs.Counter, 3),
+		spoolBytes: reg.Gauge("figret_serve_spool_bytes",
+			"Durable bytes of the on-disk ingest spool.", l),
+		spoolErrors: reg.Counter("figret_serve_spool_errors_total",
+			"Spool append failures (spooling disables itself after the first).", l),
 		latency: reg.Histogram("figret_serve_decision_duration_seconds",
 			"End-to-end decision latency (ingest pickup to publish).",
 			obs.DefaultLatencyBuckets(), l),
@@ -210,6 +216,18 @@ func (tt *topoTelemetry) decision(d *Decision, latency time.Duration) {
 	}
 	if d.ChurnLimited {
 		tt.churnLimited.Inc()
+	}
+}
+
+func (tt *topoTelemetry) spool(durableBytes int64) {
+	if tt != nil {
+		tt.spoolBytes.Set(float64(durableBytes))
+	}
+}
+
+func (tt *topoTelemetry) spoolError() {
+	if tt != nil {
+		tt.spoolErrors.Inc()
 	}
 }
 

@@ -1,0 +1,18 @@
+package tracestore
+
+import (
+	"io"
+	"os"
+)
+
+// readFallback loads the whole file into an 8-byte-aligned heap buffer —
+// the portable stand-in for a private mapping. Go's allocator aligns
+// []byte backing arrays of this size to at least 8 bytes, which the
+// zero-copy float64 reinterpretation relies on.
+func readFallback(f *os.File, size int) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, int64(size)), data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

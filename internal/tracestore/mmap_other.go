@@ -1,0 +1,11 @@
+//go:build !unix
+
+package tracestore
+
+import "os"
+
+// mapFile on platforms without syscall.Mmap reads the file into the
+// heap: same validated views, no page-cache sharing.
+func mapFile(f *os.File, size int) ([]byte, func() error, error) {
+	return readFallback(f, size)
+}

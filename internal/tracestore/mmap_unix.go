@@ -1,0 +1,25 @@
+//go:build unix
+
+package tracestore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps the whole file privately: PROT_READ|PROT_WRITE
+// with MAP_PRIVATE gives zero-copy reads with copy-on-write isolation —
+// a write through a view dirties only this process's page, never the
+// durable file. When the kernel refuses (e.g. a filesystem without mmap
+// support), it falls back to reading the file into the heap, which
+// keeps the same semantics at the cost of residency.
+func mapFile(f *os.File, size int) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+	if err != nil {
+		return readFallback(f, size)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
